@@ -1,0 +1,122 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "baselines/cpu_engines.h"
+#include "baselines/cuart.h"
+#include "baselines/rowex_engine.h"
+#include "dcart/accelerator.h"
+#include "dcartc/dcartc.h"
+
+namespace dcart::bench {
+
+std::vector<std::string> EngineNames() {
+  return {"ART", "SMART", "CuART", "DCART-C", "DCART"};
+}
+
+std::unique_ptr<IndexEngine> MakeEngine(const std::string& name) {
+  // "ART" is the ROWEX-backed baseline, the protocol the paper cites; the
+  // OLC-backed variant remains available as "ART-OLC".
+  if (name == "ART") return std::make_unique<baselines::ArtRowexEngine>();
+  if (name == "ART-OLC") return baselines::MakeArtOlcEngine();
+  if (name == "Heart") return baselines::MakeHeartEngine();
+  if (name == "SMART") return baselines::MakeSmartEngine();
+  if (name == "CuART") return std::make_unique<baselines::CuartEngine>();
+  if (name == "DCART-C") return std::make_unique<dcartc::DcartCEngine>();
+  if (name == "DCART") return std::make_unique<accel::DcartEngine>();
+  std::fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+  std::abort();
+}
+
+WorkloadConfig ConfigFromFlags(const CliFlags& flags) {
+  WorkloadConfig cfg;
+  cfg.num_keys = static_cast<std::size_t>(flags.GetInt("keys", 40'000));
+  cfg.num_ops = static_cast<std::size_t>(flags.GetInt("ops", 120'000));
+  cfg.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  cfg.write_ratio = flags.GetDouble("write-ratio", cfg.write_ratio);
+  cfg.zipf_theta = flags.GetDouble("theta", cfg.zipf_theta);
+  return cfg;
+}
+
+RunConfig RunFromFlags(const CliFlags& flags) {
+  RunConfig run;
+  run.inflight_ops = static_cast<std::size_t>(flags.GetInt("inflight", 4096));
+  run.threads = static_cast<std::size_t>(flags.GetInt("threads", 96));
+  run.batch_size = static_cast<std::size_t>(flags.GetInt("batch", 8192));
+  return run;
+}
+
+ExecutionResult LoadAndRun(IndexEngine& engine, const Workload& workload,
+                           const RunConfig& run) {
+  engine.Load(workload.load_items);
+  return engine.Run(workload.ops, run);
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += "| ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 1, ' ');
+    }
+    line += "|";
+    std::puts(line.c_str());
+  };
+  print_row(headers_);
+  std::string sep;
+  for (const std::size_t w : widths) sep += "|" + std::string(w + 2, '-');
+  sep += "|";
+  std::puts(sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string FormatSci(double value) {
+  std::ostringstream os;
+  os.setf(std::ios::scientific);
+  os.precision(2);
+  os << value;
+  return os.str();
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  return FormatDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string FormatRatio(double ratio) {
+  return FormatDouble(ratio, ratio >= 100 ? 0 : 1) + "x";
+}
+
+void PrintBanner(const std::string& title) {
+  std::string line(title.size() + 10, '=');
+  std::printf("\n%s\n==== %s ====\n%s\n", line.c_str(), title.c_str(),
+              line.c_str());
+}
+
+}  // namespace dcart::bench

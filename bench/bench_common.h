@@ -1,0 +1,68 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every bench binary reproduces one table or figure of the DCART paper
+// (see DESIGN.md's experiment index).  They share the engine registry,
+// workload sizing flags, and plain-text table rendering here so each main()
+// only contains its experiment's sweep logic.
+//
+// Common flags (all optional):
+//   --keys=N     key-universe size        (default 40000; paper: 50 M)
+//   --ops=N      operations per run       (default 120000)
+//   --seed=N     generator seed           (default 42)
+//   --inflight=N concurrent operations    (default 4096)
+//   --threads=N  modeled CPU worker count (default 96)
+//   --theta=X    operation Zipf skew      (default 1.3, Fig. 3-calibrated)
+//   --write-ratio=X                       (default 0.5)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/engine.h"
+#include "common/cli.h"
+#include "workload/generators.h"
+
+namespace dcart::bench {
+
+/// All evaluated engines in the paper's presentation order.
+std::vector<std::string> EngineNames();
+
+/// Instantiate a fresh engine by name ("ART", "Heart", "SMART", "CuART",
+/// "DCART-C", "DCART").  Terminates on unknown names (bench bug).
+std::unique_ptr<IndexEngine> MakeEngine(const std::string& name);
+
+/// Workload configuration derived from the common flags.
+WorkloadConfig ConfigFromFlags(const CliFlags& flags);
+
+/// Run configuration derived from the common flags.
+RunConfig RunFromFlags(const CliFlags& flags);
+
+/// Load + run one engine on one workload; prints nothing.
+ExecutionResult LoadAndRun(IndexEngine& engine, const Workload& workload,
+                           const RunConfig& run);
+
+// ----------------------------------------------------------------- output --
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatDouble(double value, int precision = 3);
+std::string FormatSci(double value);
+std::string FormatPercent(double fraction, int precision = 1);
+std::string FormatRatio(double ratio);
+
+/// Section banner: "==== Figure 9: ... ====".
+void PrintBanner(const std::string& title);
+
+}  // namespace dcart::bench

@@ -1,0 +1,55 @@
+// Figure 11 — modeled energy consumption of every engine on every workload.
+//
+// Paper result: DCART saves 315.1-493.5x vs ART, 92.7-148.9x vs SMART,
+// 71.1-126.2x vs CuART and 48.1-97.6x vs DCART-C (time ratio x the
+// platform-power ratio; see simhw/timing_model.h for the power inference).
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace dcart::bench {
+
+void Main(const CliFlags& flags) {
+  const WorkloadConfig cfg = ConfigFromFlags(flags);
+  const RunConfig run = RunFromFlags(flags);
+
+  PrintBanner("Figure 11: modeled energy");
+  Table table({"workload", "engine", "joules", "uJ/op"});
+  std::map<std::string, std::map<std::string, double>> joules;
+
+  for (WorkloadKind kind : AllWorkloads()) {
+    const Workload w = MakeWorkload(kind, cfg);
+    for (const std::string& name : EngineNames()) {
+      auto engine = MakeEngine(name);
+      const ExecutionResult r = LoadAndRun(*engine, w, run);
+      joules[w.name][name] = r.energy_joules;
+      table.AddRow({w.name, name, FormatSci(r.energy_joules),
+                    FormatDouble(r.energy_joules /
+                                     static_cast<double>(w.ops.size()) * 1e6,
+                                 3)});
+    }
+  }
+  table.Print();
+
+  PrintBanner("Figure 11: DCART energy savings");
+  Table savings({"workload", "vs ART", "vs SMART", "vs CuART", "vs DCART-C"});
+  for (const auto& [workload, engines] : joules) {
+    const double dcart = engines.at("DCART");
+    savings.AddRow({workload, FormatRatio(engines.at("ART") / dcart),
+                    FormatRatio(engines.at("SMART") / dcart),
+                    FormatRatio(engines.at("CuART") / dcart),
+                    FormatRatio(engines.at("DCART-C") / dcart)});
+  }
+  savings.Print();
+  std::puts("(paper: 315.1-493.5x vs ART, 92.7-148.9x vs SMART, 71.1-126.2x "
+            "vs CuART, 48.1-97.6x vs DCART-C)");
+}
+
+}  // namespace dcart::bench
+
+int main(int argc, char** argv) {
+  dcart::CliFlags flags(argc, argv);
+  dcart::bench::Main(flags);
+  return 0;
+}

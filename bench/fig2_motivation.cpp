@@ -1,0 +1,184 @@
+// Figure 2 — motivation study on the CPU baselines (ART, Heart, SMART).
+//
+//  (a) execution-time breakdown: tree traversal vs synchronization vs rest
+//  (b) redundant traversed-node ratio (paper: ART 86.1 %, Heart 82.5 %,
+//      SMART 77.8 %)
+//  (c) useful fraction of fetched cachelines (paper: ~20.2 % on average)
+//  (d) synchronization share vs number of concurrent operations (IPGEO)
+//  (e) throughput vs write ratio (IPGEO)
+#include <cstdio>
+#include <unordered_set>
+
+#include "art/tree.h"
+#include "bench/bench_common.h"
+#include "simhw/timing_model.h"
+
+namespace dcart::bench {
+namespace {
+
+const std::vector<std::string> kCpuBaselines = {"ART", "Heart", "SMART"};
+
+struct Breakdown {
+  double traversal = 0, sync = 0, other = 0;
+};
+
+/// Reconstruct the Fig. 2(a) split from event counts and model constants.
+Breakdown SplitCycles(const OpStats& s) {
+  const simhw::CpuModel m;
+  Breakdown b;
+  b.traversal = static_cast<double>(s.partial_key_matches) *
+                    m.cycles_partial_key_match +
+                static_cast<double>(s.onchip_hits) * m.cycles_llc_hit +
+                static_cast<double>(s.offchip_accesses) * m.cycles_dram_miss;
+  b.sync = static_cast<double>(s.lock_acquisitions) *
+               m.cycles_lock_uncontended +
+           static_cast<double>(s.lock_contentions) * m.cycles_lock_contended;
+  b.other = 0.05 * (b.traversal + b.sync);  // dispatch/decode overheads
+  return b;
+}
+
+/// Distinct nodes visited per operation batch, measured by replaying the
+/// stream on the core tree with a traversal observer: the denominator of the
+/// Fig. 2(b) redundancy ratio.
+std::uint64_t DistinctNodesPerBatch(const Workload& w,
+                                    std::size_t batch_size) {
+  art::Tree tree;
+  for (const auto& [k, v] : w.load_items) tree.Insert(k, v);
+  struct Collector : art::TraversalObserver {
+    std::unordered_set<std::uintptr_t> batch_nodes;
+    std::uint64_t distinct_total = 0;
+    void OnNodeVisit(art::NodeRef ref) override {
+      batch_nodes.insert(ref.raw());
+    }
+    void Flush() {
+      distinct_total += batch_nodes.size();
+      batch_nodes.clear();
+    }
+  } collector;
+  tree.set_observer(&collector);
+  std::size_t in_batch = 0;
+  for (const Operation& op : w.ops) {
+    if (op.type == OpType::kRead) {
+      tree.FindLeaf(op.key);
+    } else {
+      tree.Insert(op.key, op.value);
+    }
+    if (++in_batch == batch_size) {
+      collector.Flush();
+      in_batch = 0;
+    }
+  }
+  collector.Flush();
+  tree.set_observer(nullptr);
+  return collector.distinct_total;
+}
+
+}  // namespace
+
+void Main(const CliFlags& flags) {
+  const WorkloadConfig base_cfg = ConfigFromFlags(flags);
+  const RunConfig run = RunFromFlags(flags);
+
+  PrintBanner("Figure 2(a): execution-time breakdown of CPU baselines");
+  {
+    Table table({"workload", "engine", "traversal", "sync", "other"});
+    for (WorkloadKind kind : AllWorkloads()) {
+      const Workload w = MakeWorkload(kind, base_cfg);
+      for (const std::string& name : kCpuBaselines) {
+        auto engine = MakeEngine(name);
+        const ExecutionResult r = LoadAndRun(*engine, w, run);
+        const Breakdown b = SplitCycles(r.stats);
+        const double total = b.traversal + b.sync + b.other;
+        table.AddRow({w.name, name, FormatPercent(b.traversal / total),
+                      FormatPercent(b.sync / total),
+                      FormatPercent(b.other / total)});
+      }
+    }
+    table.Print();
+    std::puts("(paper: traversal+sync >= 95.82 % of execution time)");
+  }
+
+  PrintBanner("Figure 2(b): redundant traversed-node ratio");
+  {
+    Table table({"workload", "engine", "visits", "distinct", "redundant"});
+    for (WorkloadKind kind : AllWorkloads()) {
+      const Workload w = MakeWorkload(kind, base_cfg);
+      const std::uint64_t distinct = DistinctNodesPerBatch(w, run.batch_size);
+      for (const std::string& name : kCpuBaselines) {
+        auto engine = MakeEngine(name);
+        const ExecutionResult r = LoadAndRun(*engine, w, run);
+        table.AddRow({w.name, name, std::to_string(r.stats.nodes_visited),
+                      std::to_string(distinct),
+                      FormatPercent(OpStats::RedundantRatio(
+                          r.stats.nodes_visited, distinct))});
+      }
+    }
+    table.Print();
+    std::puts("(paper: ART 86.1 %, Heart 82.5 %, SMART 77.8 % on average)");
+  }
+
+  PrintBanner("Figure 2(c): useful fraction of fetched cachelines");
+  {
+    Table table({"workload", "engine", "fetched MB", "useful MB", "useful"});
+    for (WorkloadKind kind : AllWorkloads()) {
+      const Workload w = MakeWorkload(kind, base_cfg);
+      for (const std::string& name : kCpuBaselines) {
+        auto engine = MakeEngine(name);
+        const ExecutionResult r = LoadAndRun(*engine, w, run);
+        table.AddRow(
+            {w.name, name,
+             FormatDouble(static_cast<double>(r.stats.offchip_bytes) / 1e6),
+             FormatDouble(static_cast<double>(r.stats.useful_bytes) / 1e6),
+             FormatPercent(r.stats.CachelineUtilization())});
+      }
+    }
+    table.Print();
+    std::puts("(paper: ~20.2 % of fetched bytes are useful on average)");
+  }
+
+  PrintBanner("Figure 2(d): sync share vs concurrent operations (IPGEO)");
+  {
+    const Workload w = MakeWorkload(WorkloadKind::kIPGEO, base_cfg);
+    Table table({"inflight", "engine", "sync share"});
+    for (std::size_t inflight : {64u, 256u, 1024u, 4096u, 16384u}) {
+      for (const std::string& name : kCpuBaselines) {
+        auto engine = MakeEngine(name);
+        RunConfig sweep = run;
+        sweep.inflight_ops = inflight;
+        const ExecutionResult r = LoadAndRun(*engine, w, sweep);
+        const Breakdown b = SplitCycles(r.stats);
+        table.AddRow({std::to_string(inflight), name,
+                      FormatPercent(b.sync / (b.traversal + b.sync + b.other))});
+      }
+    }
+    table.Print();
+    std::puts("(paper: 16.2 % -> 62.1 % for Heart/SMART, 24.1 % -> 71.3 % "
+              "for ART as concurrency grows)");
+  }
+
+  PrintBanner("Figure 2(e): throughput vs write ratio (IPGEO)");
+  {
+    Table table({"write ratio", "engine", "Mops/s"});
+    for (double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      WorkloadConfig cfg = base_cfg;
+      cfg.write_ratio = ratio;
+      const Workload w = MakeWorkload(WorkloadKind::kIPGEO, cfg);
+      for (const std::string& name : kCpuBaselines) {
+        auto engine = MakeEngine(name);
+        const ExecutionResult r = LoadAndRun(*engine, w, run);
+        table.AddRow({FormatPercent(ratio, 0), name,
+                      FormatDouble(r.ThroughputOpsPerSec() / 1e6, 2)});
+      }
+    }
+    table.Print();
+    std::puts("(paper: performance deteriorates rapidly as writes grow)");
+  }
+}
+
+}  // namespace dcart::bench
+
+int main(int argc, char** argv) {
+  dcart::CliFlags flags(argc, argv);
+  dcart::bench::Main(flags);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 8 — partial key matches of every engine on every workload.
+//
+// Paper result: DCART-C and DCART perform only 3.2 %-5.7 % of ART's,
+// 6.5 %-14.3 % of SMART's, and 8.8 %-15.9 % of CuART's partial key matches:
+// combining shares traversals and shortcuts skip them entirely.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace dcart::bench {
+
+void Main(const CliFlags& flags) {
+  const WorkloadConfig cfg = ConfigFromFlags(flags);
+  const RunConfig run = RunFromFlags(flags);
+
+  PrintBanner("Figure 8: partial key matches");
+  Table table({"workload", "engine", "pkm", "shortcut hits", "combined ops"});
+  std::map<std::string, std::map<std::string, std::uint64_t>> pkm;
+
+  for (WorkloadKind kind : AllWorkloads()) {
+    const Workload w = MakeWorkload(kind, cfg);
+    for (const std::string& name : EngineNames()) {
+      auto engine = MakeEngine(name);
+      const ExecutionResult r = LoadAndRun(*engine, w, run);
+      pkm[w.name][name] = r.stats.partial_key_matches;
+      table.AddRow({w.name, name, std::to_string(r.stats.partial_key_matches),
+                    std::to_string(r.stats.shortcut_hits),
+                    std::to_string(r.stats.combined_ops)});
+    }
+  }
+  table.Print();
+
+  PrintBanner("Figure 8: DCART's partial-key-match ratio vs baselines");
+  Table ratios({"workload", "vs ART", "vs SMART", "vs CuART"});
+  for (const auto& [workload, engines] : pkm) {
+    const auto dcart = static_cast<double>(engines.at("DCART"));
+    ratios.AddRow(
+        {workload,
+         FormatPercent(dcart / static_cast<double>(engines.at("ART"))),
+         FormatPercent(dcart / static_cast<double>(engines.at("SMART"))),
+         FormatPercent(dcart / static_cast<double>(engines.at("CuART")))});
+  }
+  ratios.Print();
+  std::puts("(paper: 3.2-5.7 % of ART, 6.5-14.3 % of SMART, 8.8-15.9 % of "
+            "CuART)");
+}
+
+}  // namespace dcart::bench
+
+int main(int argc, char** argv) {
+  dcart::CliFlags flags(argc, argv);
+  dcart::bench::Main(flags);
+  return 0;
+}

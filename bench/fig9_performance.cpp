@@ -1,0 +1,55 @@
+// Figure 9 — end-to-end execution time of every engine on every workload.
+//
+// Paper result: DCART achieves 123.8-151.7x over ART, 35.9-44.2x over
+// SMART, and 21.1-31.2x over CuART; DCART-C only slightly outperforms the
+// baselines because the CTT model's runtime overheads eat its savings on a
+// CPU.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace dcart::bench {
+
+void Main(const CliFlags& flags) {
+  const WorkloadConfig cfg = ConfigFromFlags(flags);
+  const RunConfig run = RunFromFlags(flags);
+
+  PrintBanner("Figure 9: modeled execution time");
+  Table table({"workload", "engine", "platform", "seconds", "Mops/s"});
+  std::map<std::string, std::map<std::string, double>> seconds;
+
+  for (WorkloadKind kind : AllWorkloads()) {
+    const Workload w = MakeWorkload(kind, cfg);
+    for (const std::string& name : EngineNames()) {
+      auto engine = MakeEngine(name);
+      const ExecutionResult r = LoadAndRun(*engine, w, run);
+      seconds[w.name][name] = r.seconds;
+      table.AddRow({w.name, name, r.platform, FormatSci(r.seconds),
+                    FormatDouble(r.ThroughputOpsPerSec() / 1e6, 2)});
+    }
+  }
+  table.Print();
+
+  PrintBanner("Figure 9: DCART speedups");
+  Table speedups({"workload", "vs ART", "vs SMART", "vs CuART",
+                  "vs DCART-C"});
+  for (const auto& [workload, engines] : seconds) {
+    const double dcart = engines.at("DCART");
+    speedups.AddRow({workload, FormatRatio(engines.at("ART") / dcart),
+                     FormatRatio(engines.at("SMART") / dcart),
+                     FormatRatio(engines.at("CuART") / dcart),
+                     FormatRatio(engines.at("DCART-C") / dcart)});
+  }
+  speedups.Print();
+  std::puts("(paper: 123.8-151.7x vs ART, 35.9-44.2x vs SMART, 21.1-31.2x "
+            "vs CuART)");
+}
+
+}  // namespace dcart::bench
+
+int main(int argc, char** argv) {
+  dcart::CliFlags flags(argc, argv);
+  dcart::bench::Main(flags);
+  return 0;
+}

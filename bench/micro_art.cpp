@@ -1,0 +1,146 @@
+// Google-benchmark microbenchmarks for the core ART: raw insert / lookup /
+// scan / remove throughput across key distributions, plus the concurrent
+// OLC tree's single-thread overheads.  These are the library-level numbers
+// a downstream user cares about, independent of the paper's figures.
+#include <benchmark/benchmark.h>
+
+#include "art/tree.h"
+#include "baselines/olc_tree.h"
+#include "common/key_codec.h"
+#include "common/rng.h"
+
+namespace dcart {
+namespace {
+
+std::vector<Key> DenseKeys(std::size_t n) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(EncodeU64(static_cast<std::uint64_t>(i)));
+  }
+  return keys;
+}
+
+std::vector<Key> SparseKeys(std::size_t n) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  SplitMix64 rng(99);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(EncodeU64(rng.Next()));
+  return keys;
+}
+
+void BM_ArtInsertDense(benchmark::State& state) {
+  const auto keys = DenseKeys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    art::Tree tree;
+    for (const Key& k : keys) tree.Insert(k, 1);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_ArtInsertDense)->Arg(10000)->Arg(100000);
+
+void BM_ArtInsertSparse(benchmark::State& state) {
+  const auto keys = SparseKeys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    art::Tree tree;
+    for (const Key& k : keys) tree.Insert(k, 1);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_ArtInsertSparse)->Arg(10000)->Arg(100000);
+
+void BM_ArtLookupHit(benchmark::State& state) {
+  const auto keys = SparseKeys(static_cast<std::size_t>(state.range(0)));
+  art::Tree tree;
+  for (const Key& k : keys) tree.Insert(k, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArtLookupHit)->Arg(100000)->Arg(1000000);
+
+void BM_ArtLookupMiss(benchmark::State& state) {
+  const auto keys = DenseKeys(static_cast<std::size_t>(state.range(0)));
+  art::Tree tree;
+  for (const Key& k : keys) tree.Insert(k, 1);
+  SplitMix64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(EncodeU64(rng.Next())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArtLookupMiss)->Arg(100000);
+
+void BM_ArtScan(benchmark::State& state) {
+  art::Tree tree;
+  for (std::uint64_t i = 0; i < 100000; ++i) tree.Insert(EncodeU64(i), i);
+  const auto span = static_cast<std::uint64_t>(state.range(0));
+  SplitMix64 rng(7);
+  for (auto _ : state) {
+    const std::uint64_t lo = rng.NextBounded(100000 - span);
+    std::uint64_t sum = 0;
+    tree.Scan(EncodeU64(lo), EncodeU64(lo + span),
+              [&sum](KeyView, art::Value v) {
+                sum += v;
+                return true;
+              });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(span));
+}
+BENCHMARK(BM_ArtScan)->Arg(100)->Arg(10000);
+
+void BM_ArtRemoveInsertChurn(benchmark::State& state) {
+  art::Tree tree;
+  constexpr std::uint64_t kSpace = 100000;
+  for (std::uint64_t i = 0; i < kSpace; i += 2) tree.Insert(EncodeU64(i), i);
+  SplitMix64 rng(11);
+  for (auto _ : state) {
+    const std::uint64_t k = rng.NextBounded(kSpace);
+    if (!tree.Remove(EncodeU64(k))) tree.Insert(EncodeU64(k), k);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArtRemoveInsertChurn);
+
+void BM_OlcLookupSingleThread(benchmark::State& state) {
+  baselines::OlcTree tree;
+  sync::SyncStats stats;
+  const auto keys = SparseKeys(100000);
+  for (const Key& k : keys) tree.Insert(k, 1, 0, stats);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(keys[i], 0, stats));
+    i = (i + 1) % keys.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OlcLookupSingleThread);
+
+void BM_OlcInsertSingleThread(benchmark::State& state) {
+  const auto keys = SparseKeys(100000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    baselines::OlcTree tree;
+    sync::SyncStats stats;
+    state.ResumeTiming();
+    for (const Key& k : keys) tree.Insert(k, 1, 0, stats);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_OlcInsertSingleThread)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dcart
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Scale study (beyond the paper): how the DCART-vs-baselines picture
+// changes with the key-universe size, from cache-resident (bench default)
+// toward the paper's 50 M-key regime.  Reports the two regime effects
+// EXPERIMENTS.md discusses: the CPU baselines lose their LLC advantage as
+// the tree outgrows the cache, while DCART's Tree_buffer covers an ever
+// smaller tree fraction.
+//
+//   build/bench/scale_study [--ops=N] [--max-keys=N]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace dcart::bench {
+
+void Main(const CliFlags& flags) {
+  const auto ops = static_cast<std::size_t>(flags.GetInt("ops", 100'000));
+  const auto max_keys =
+      static_cast<std::size_t>(flags.GetInt("max-keys", 1'000'000));
+  const RunConfig run = RunFromFlags(flags);
+
+  PrintBanner("Scale study: IPGEO, 50/50 mix, keys sweep");
+  Table table({"keys", "engine", "seconds", "Mops/s", "DCART speedup"});
+  for (std::size_t keys : {40'000ul, 200'000ul, 1'000'000ul}) {
+    if (keys > max_keys) break;
+    WorkloadConfig cfg = ConfigFromFlags(flags);
+    cfg.num_keys = keys;
+    cfg.num_ops = ops;
+    const Workload w = MakeWorkload(WorkloadKind::kIPGEO, cfg);
+    std::map<std::string, double> seconds;
+    for (const std::string& name :
+         {std::string("ART"), std::string("SMART"), std::string("CuART"),
+          std::string("DCART")}) {
+      auto engine = MakeEngine(name);
+      seconds[name] = LoadAndRun(*engine, w, run).seconds;
+    }
+    for (const auto& [name, secs] : seconds) {
+      table.AddRow({std::to_string(keys), name, FormatSci(secs),
+                    FormatDouble(static_cast<double>(ops) / secs / 1e6, 2),
+                    name == "DCART"
+                        ? std::string("-")
+                        : FormatRatio(secs / seconds["DCART"])});
+    }
+  }
+  table.Print();
+  std::puts("(the paper's testbed is 50M keys; pass --max-keys to extend)");
+}
+
+}  // namespace dcart::bench
+
+int main(int argc, char** argv) {
+  dcart::CliFlags flags(argc, argv);
+  dcart::bench::Main(flags);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table I — DCART configuration, FPGA resource estimate, and the memory
+// footprint of the ART the accelerator operates on (per workload).
+#include <cstdio>
+
+#include "art/tree.h"
+#include "bench/bench_common.h"
+#include "dcart/report.h"
+
+namespace dcart::bench {
+
+void Main(const CliFlags& flags) {
+  PrintBanner("Table I: DCART parameters and resource estimate");
+  std::fputs(
+      accel::RenderTableOne(accel::DcartConfig{}, simhw::FpgaModel{}).c_str(),
+      stdout);
+
+  PrintBanner("ART memory footprint per workload (adaptive node mix)");
+  const WorkloadConfig cfg = ConfigFromFlags(flags);
+  Table table({"workload", "keys", "N4", "N16", "N48", "N256", "height",
+               "MB total"});
+  for (WorkloadKind kind : AllWorkloads()) {
+    const Workload w = MakeWorkload(kind, cfg);
+    art::Tree tree;
+    for (const auto& [k, v] : w.load_items) tree.Insert(k, v);
+    const art::MemoryStats ms = tree.ComputeMemoryStats();
+    table.AddRow({w.name, std::to_string(tree.size()), std::to_string(ms.n4),
+                  std::to_string(ms.n16), std::to_string(ms.n48),
+                  std::to_string(ms.n256), std::to_string(tree.Height()),
+                  FormatDouble(static_cast<double>(ms.TotalBytes()) / 1e6,
+                               2)});
+  }
+  table.Print();
+}
+
+}  // namespace dcart::bench
+
+int main(int argc, char** argv) {
+  dcart::CliFlags flags(argc, argv);
+  dcart::bench::Main(flags);
+  return 0;
+}

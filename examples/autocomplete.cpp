@@ -1,0 +1,69 @@
+// Autocomplete / dictionary demo: prefix scans, lower-bound seeks, and
+// sorted bulk-load — the affix-query APIs radix trees are built for.
+//
+//   build/examples/autocomplete [prefix...]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "art/iterator.h"
+#include "art/tree.h"
+#include "common/key_codec.h"
+#include "workload/generators.h"
+
+using namespace dcart;
+
+int main(int argc, char** argv) {
+  // Build a dictionary with the DICT generator and bulk-load it sorted
+  // (O(n), ~5x faster than repeated inserts).
+  WorkloadConfig cfg;
+  cfg.num_keys = 30'000;
+  cfg.num_ops = 1;
+  const Workload w = MakeWorkload(WorkloadKind::kDICT, cfg);
+  std::vector<std::pair<Key, art::Value>> sorted = w.load_items;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return CompareKeys(a.first, b.first) < 0;
+            });
+  art::Tree dict;
+  dict.BulkLoadSorted(sorted);
+  std::printf("dictionary: %zu words, height %zu, %s\n", dict.size(),
+              dict.Height(), dict.ComputeMemoryStats().ToString().c_str());
+
+  std::vector<std::string> prefixes;
+  for (int i = 1; i < argc; ++i) prefixes.emplace_back(argv[i]);
+  if (prefixes.empty()) prefixes = {"tra", "se", "qu"};
+
+  for (const std::string& prefix : prefixes) {
+    std::printf("\ncomplete \"%s\":", prefix.c_str());
+    std::size_t shown = 0;
+    dict.ScanPrefix(Key(prefix.begin(), prefix.end()),
+                    [&shown](KeyView key, art::Value) {
+                      std::printf(" %s", DecodeString(key).c_str());
+                      return ++shown < 8;  // first 8 completions
+                    });
+    if (shown == 0) {
+      // No completion: show where the prefix would land (lower bound).
+      art::Iterator it(dict);
+      it.Seek(Key(prefix.begin(), prefix.end()));
+      if (it.Valid()) {
+        std::printf(" (nothing; next word is \"%s\")",
+                    DecodeString(it.key()).c_str());
+      } else {
+        std::printf(" (nothing; past the last word)");
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Page through the dictionary from a seek point, iterator-style.
+  std::printf("\nfive words from \"m\" onward:");
+  art::Iterator it(dict);
+  it.Seek(EncodeString("m"));
+  for (int i = 0; i < 5 && it.Valid(); ++i, it.Next()) {
+    std::printf(" %s", DecodeString(it.key()).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the core Adaptive Radix Tree API in two minutes.
+//
+//   build/examples/quickstart
+//
+// Covers: encoding keys (integers and strings), insert/lookup/delete,
+// ordered range scans, and tree introspection (memory stats, height).
+#include <cstdio>
+
+#include "art/tree.h"
+#include "common/key_codec.h"
+
+using namespace dcart;
+
+int main() {
+  art::Tree tree;
+
+  // --- integer keys ------------------------------------------------------
+  // EncodeU64 produces big-endian bytes, so byte-wise tree order == numeric
+  // order and range scans behave like std::map.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    tree.Insert(EncodeU64(i * 10), /*value=*/i);
+  }
+  std::printf("inserted %zu integer keys, height %zu\n", tree.size(),
+              tree.Height());
+
+  if (const auto hit = tree.Get(EncodeU64(420))) {
+    std::printf("tree[420] = %llu\n",
+                static_cast<unsigned long long>(*hit));
+  }
+  std::printf("tree[421] present? %s\n",
+              tree.Get(EncodeU64(421)) ? "yes" : "no");
+
+  // Ordered range scan [300, 350].
+  std::printf("keys in [300, 350]:");
+  tree.Scan(EncodeU64(300), EncodeU64(350), [](KeyView key, art::Value) {
+    std::printf(" %llu", static_cast<unsigned long long>(DecodeU64(key)));
+    return true;  // keep scanning
+  });
+  std::printf("\n");
+
+  // --- string keys --------------------------------------------------------
+  // EncodeString appends a terminator so no key is a prefix of another
+  // (an ART requirement); mixing integer and string keys in ONE tree is not
+  // meaningful — use separate trees per key domain.
+  art::Tree names;
+  names.Insert(EncodeString("ada"), 1815);
+  names.Insert(EncodeString("alan"), 1912);
+  names.Insert(EncodeString("barbara"), 1928);
+  names.Insert(EncodeString("edsger"), 1930);
+
+  std::printf("names starting with 'a':");
+  names.Scan(EncodeString("a"), EncodeString("b"),
+             [](KeyView key, art::Value year) {
+               std::printf(" %s(%llu)", DecodeString(key).c_str(),
+                           static_cast<unsigned long long>(year));
+               return true;
+             });
+  std::printf("\n");
+
+  // --- deletion and adaptivity --------------------------------------------
+  names.Remove(EncodeString("alan"));
+  std::printf("after remove: %zu names, alan present? %s\n", names.size(),
+              names.Get(EncodeString("alan")) ? "yes" : "no");
+
+  const art::MemoryStats ms = tree.ComputeMemoryStats();
+  std::printf("node mix: %s\n", ms.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Trace utility: generate, save, load and inspect workload traces.
+//
+//   build/examples/trace_tool gen  --workload=IPGEO --keys=N --ops=N out.trc
+//   build/examples/trace_tool info in.trc
+//   build/examples/trace_tool run  in.trc [--engine=DCART]
+//
+// The binary trace format (workload/trace_io.h) lets the harness replay
+// real-world key logs: convert your trace into this format and every bench
+// and engine can consume it.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/cpu_engines.h"
+#include "baselines/cuart.h"
+#include "common/cli.h"
+#include "dcart/accelerator.h"
+#include "dcartc/dcartc.h"
+#include "workload/generators.h"
+#include "workload/trace_io.h"
+
+using namespace dcart;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool gen  [--workload=NAME --keys=N --ops=N "
+               "--write-ratio=X --theta=X --seed=N] <out.trc>\n"
+               "  trace_tool info <in.trc>\n"
+               "  trace_tool run  <in.trc> [--engine=DCART]\n");
+  return 1;
+}
+
+std::unique_ptr<IndexEngine> MakeEngineByName(const std::string& name) {
+  if (name == "ART") return baselines::MakeArtOlcEngine();
+  if (name == "Heart") return baselines::MakeHeartEngine();
+  if (name == "SMART") return baselines::MakeSmartEngine();
+  if (name == "CuART") return std::make_unique<baselines::CuartEngine>();
+  if (name == "DCART-C") return std::make_unique<dcartc::DcartCEngine>();
+  if (name == "DCART") return std::make_unique<accel::DcartEngine>();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  if (flags.positional().size() < 2) return Usage();
+  const std::string command = flags.positional()[0];
+  const std::string path = flags.positional()[1];
+
+  if (command == "gen") {
+    const auto kind = ParseWorkloadName(flags.GetString("workload", "IPGEO"));
+    if (!kind) {
+      std::fprintf(stderr, "unknown workload name\n");
+      return 1;
+    }
+    WorkloadConfig cfg;
+    cfg.num_keys = static_cast<std::size_t>(flags.GetInt("keys", 40'000));
+    cfg.num_ops = static_cast<std::size_t>(flags.GetInt("ops", 120'000));
+    cfg.write_ratio = flags.GetDouble("write-ratio", cfg.write_ratio);
+    cfg.zipf_theta = flags.GetDouble("theta", cfg.zipf_theta);
+    cfg.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+    const Workload w = MakeWorkload(*kind, cfg);
+    if (!SaveWorkload(w, path)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %zu load keys, %zu ops\n", path.c_str(),
+                w.load_items.size(), w.ops.size());
+    return 0;
+  }
+
+  Workload w;
+  if (!LoadWorkload(path, w)) {
+    std::fprintf(stderr, "failed to read trace %s\n", path.c_str());
+    return 1;
+  }
+
+  if (command == "info") {
+    std::printf("trace    : %s\n", path.c_str());
+    std::printf("workload : %s\n", w.name.c_str());
+    std::printf("load keys: %zu\n", w.load_items.size());
+    std::printf("ops      : %zu (%zu reads / %zu writes)\n", w.ops.size(),
+                w.NumReads(), w.NumWrites());
+    std::printf("hot keys : %.2f%% of keys receive 90%% of ops\n",
+                HotKeyFraction(w, 0.9) * 100);
+    const auto hist = PrefixHistogram(w);
+    int top = 0;
+    for (int p = 1; p < 256; ++p) {
+      if (hist[p] > hist[top]) top = p;
+    }
+    std::printf("top /8   : 0x%02X with %llu ops\n", top,
+                static_cast<unsigned long long>(hist[top]));
+    return 0;
+  }
+
+  if (command == "run") {
+    const std::string engine_name = flags.GetString("engine", "DCART");
+    auto engine = MakeEngineByName(engine_name);
+    if (!engine) {
+      std::fprintf(stderr, "unknown engine %s\n", engine_name.c_str());
+      return 1;
+    }
+    engine->Load(w.load_items);
+    const ExecutionResult r = engine->Run(w.ops, RunConfig{});
+    std::printf("%s on %s: %.3f ms modeled, %.2f Mops/s, %.4f J\n",
+                engine->name().c_str(), w.name.c_str(), r.seconds * 1e3,
+                r.ThroughputOpsPerSec() / 1e6, r.energy_joules);
+    std::printf("stats: %s\n", r.stats.ToString().c_str());
+    return 0;
+  }
+  return Usage();
+}

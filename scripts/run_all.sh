@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure of the reproduction.
+#   scripts/run_all.sh [extra bench flags, e.g. --keys=200000]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b")"
+  "$b" "$@"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,90 @@
+#include "art/serialize.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace dcart::art {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'C', 'A', 'R', 'T', 'S', 'N', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WritePod(std::FILE* f, T value) {
+  return std::fwrite(&value, sizeof value, 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T& value) {
+  return std::fread(&value, sizeof value, 1, f) == 1;
+}
+
+}  // namespace
+
+bool SaveTree(const Tree& tree, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (std::fwrite(kMagic, 1, sizeof kMagic, f.get()) != sizeof kMagic) {
+    return false;
+  }
+  if (!WritePod(f.get(), static_cast<std::uint64_t>(tree.size()))) {
+    return false;
+  }
+  bool ok = true;
+  if (!tree.empty()) {
+    tree.ScanFrom(Key{}, [&](KeyView key, Value value) {
+      ok = ok && WritePod(f.get(), static_cast<std::uint32_t>(key.size())) &&
+           std::fwrite(key.data(), 1, key.size(), f.get()) == key.size() &&
+           WritePod(f.get(), value);
+      return ok;
+    });
+  }
+  return ok;
+}
+
+bool LoadTree(const std::string& path, Tree& out) {
+  assert(out.empty() && "LoadTree requires an empty tree");
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  char magic[sizeof kMagic];
+  if (std::fread(magic, 1, sizeof magic, f.get()) != sizeof magic ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    return false;
+  }
+  std::uint64_t count = 0;
+  if (!ReadPod(f.get(), count)) return false;
+  std::vector<std::pair<Key, Value>> items;
+  items.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t key_len = 0;
+    if (!ReadPod(f.get(), key_len) || key_len == 0 || key_len > (1u << 20)) {
+      return false;
+    }
+    Key key(key_len);
+    Value value = 0;
+    if (std::fread(key.data(), 1, key_len, f.get()) != key_len ||
+        !ReadPod(f.get(), value)) {
+      return false;
+    }
+    // The stream must be strictly sorted (it came from an in-order scan).
+    if (!items.empty() && CompareKeys(items.back().first, key) >= 0) {
+      return false;
+    }
+    items.emplace_back(std::move(key), value);
+  }
+  out.BulkLoadSorted(items);
+  return true;
+}
+
+}  // namespace dcart::art

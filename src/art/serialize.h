@@ -1,0 +1,26 @@
+// Tree snapshot serialization: persist an ART to a file and reload it.
+//
+// The on-disk form is the sorted (key, value) stream — order is the tree's
+// own invariant — so loading is a single O(n) BulkLoadSorted pass and the
+// reloaded tree is structurally canonical regardless of the original
+// insertion order.
+//
+// Format (little-endian):
+//   magic "DCARTSN1"
+//   u64 count, then per entry: u32 key_len, key bytes, u64 value
+#pragma once
+
+#include <string>
+
+#include "art/tree.h"
+
+namespace dcart::art {
+
+/// Write a snapshot of `tree` to `path`.  Returns false on I/O failure.
+bool SaveTree(const Tree& tree, const std::string& path);
+
+/// Load a snapshot into `out` (must be empty).  Returns false on I/O
+/// failure or a malformed file; `out` is left empty in that case.
+bool LoadTree(const std::string& path, Tree& out);
+
+}  // namespace dcart::art

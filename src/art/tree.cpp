@@ -1,0 +1,512 @@
+#include "art/tree.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace dcart::art {
+
+namespace {
+
+Leaf* NewLeaf(KeyView key, Value value) {
+  return new Leaf{Key(key.begin(), key.end()), value};
+}
+
+}  // namespace
+
+std::string MemoryStats::ToString() const {
+  std::ostringstream os;
+  os << "N4=" << n4 << " N16=" << n16 << " N48=" << n48 << " N256=" << n256
+     << " leaves=" << leaves << " internal_bytes=" << internal_bytes
+     << " leaf_bytes=" << leaf_bytes;
+  return os.str();
+}
+
+Tree::~Tree() { DestroySubtree(root_); }
+
+Tree::Tree(Tree&& other) noexcept
+    : root_(other.root_), size_(other.size_) {
+  other.root_ = {};
+  other.size_ = 0;
+}
+
+Tree& Tree::operator=(Tree&& other) noexcept {
+  if (this != &other) {
+    DestroySubtree(root_);
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = {};
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void Tree::NoteVisit(NodeRef ref) const {
+  if (stats_) ++stats_->nodes_visited;
+  if (observer_) observer_->OnNodeVisit(ref);
+}
+
+std::uint32_t Tree::PrefixMismatch(const Node* node, KeyView key,
+                                   std::size_t depth) const {
+  const auto max_cmp = static_cast<std::uint32_t>(
+      std::min<std::size_t>(node->prefix_len, key.size() - depth));
+  std::uint32_t i = 0;
+  const std::uint32_t stored =
+      std::min<std::uint32_t>(max_cmp, node->stored_prefix_len);
+  for (; i < stored; ++i) {
+    if (node->prefix[i] != key[depth + i]) return i;
+  }
+  if (i < max_cmp && node->prefix_len > node->stored_prefix_len) {
+    // Recover the non-stored tail of the compressed path from the subtree's
+    // minimum leaf, whose key contains the full path bytes at [depth, ...).
+    const Leaf* min_leaf = Minimum(NodeRef::FromNode(const_cast<Node*>(node)));
+    for (; i < max_cmp; ++i) {
+      if (min_leaf->key[depth + i] != key[depth + i]) return i;
+    }
+  }
+  return i;
+}
+
+bool Tree::Insert(KeyView key, Value value) {
+  assert(!key.empty() && "keys must be non-empty (see key_codec.h)");
+  if (root_.IsNull()) {
+    root_ = NodeRef::FromLeaf(NewLeaf(key, value));
+    size_ = 1;
+    if (stats_) ++stats_->operations;
+    return true;
+  }
+  if (stats_) ++stats_->operations;
+
+  NodeRef* slot = &root_;
+  std::size_t depth = 0;
+  for (;;) {
+    const NodeRef cur = *slot;
+    NoteVisit(cur);
+
+    if (cur.IsLeaf()) {
+      Leaf* leaf = cur.AsLeaf();
+      if (stats_) ++stats_->leaf_accesses;
+      if (KeysEqual(leaf->key, key)) {
+        leaf->value = value;
+        return false;
+      }
+      // Split this leaf: a new N4 holds the common prefix and both leaves.
+      const KeyView leaf_key{leaf->key};
+      const std::size_t lcp = CommonPrefixLength(leaf_key.subspan(depth),
+                                                 key.subspan(depth));
+      assert(depth + lcp < key.size() && depth + lcp < leaf_key.size() &&
+             "stored keys must be prefix-free");
+      auto* branch = new Node4;
+      SetPrefixFromKey(branch, key, depth, static_cast<std::uint32_t>(lcp));
+      AddChild(branch, key[depth + lcp], NodeRef::FromLeaf(NewLeaf(key, value)));
+      AddChild(branch, leaf_key[depth + lcp], cur);
+      *slot = NodeRef::FromNode(branch);
+      ++size_;
+      return true;
+    }
+
+    Node* node = cur.AsNode();
+    if (stats_) ++stats_->partial_key_matches;
+    const std::uint32_t mismatch = PrefixMismatch(node, key, depth);
+    if (mismatch < node->prefix_len) {
+      // The key diverges inside the compressed path: split the path.
+      assert(depth + mismatch < key.size() &&
+             "stored keys must be prefix-free");
+      const Leaf* min_leaf = Minimum(cur);  // full path bytes live here
+      auto* branch = new Node4;
+      SetPrefixFromKey(branch, min_leaf->key, depth, mismatch);
+      const std::uint8_t node_byte = min_leaf->key[depth + mismatch];
+      SetPrefixFromKey(node, min_leaf->key, depth + mismatch + 1,
+                       node->prefix_len - mismatch - 1);
+      AddChild(branch, key[depth + mismatch],
+               NodeRef::FromLeaf(NewLeaf(key, value)));
+      AddChild(branch, node_byte, cur);
+      *slot = NodeRef::FromNode(branch);
+      ++size_;
+      return true;
+    }
+
+    depth += node->prefix_len;
+    assert(depth < key.size() && "stored keys must be prefix-free");
+    const std::uint8_t b = key[depth];
+    NodeRef* child_slot = FindChildSlot(node, b);
+    if (child_slot == nullptr) {
+      if (IsFull(node)) {
+        Node* grown = Grown(node);
+        *slot = NodeRef::FromNode(grown);
+        if (observer_) {
+          observer_->OnNodeReplaced(cur, NodeRef::FromNode(grown));
+        }
+        DeleteNode(node);
+        node = grown;
+      }
+      AddChild(node, b, NodeRef::FromLeaf(NewLeaf(key, value)));
+      ++size_;
+      return true;
+    }
+    slot = child_slot;
+    ++depth;
+  }
+}
+
+std::optional<Value> Tree::Get(KeyView key) const {
+  const Leaf* leaf = FindLeaf(key);
+  if (leaf == nullptr) return std::nullopt;
+  return leaf->value;
+}
+
+Leaf* Tree::FindLeaf(KeyView key) const {
+  if (stats_) ++stats_->operations;
+  NodeRef ref = root_;
+  std::size_t depth = 0;
+  while (!ref.IsNull()) {
+    NoteVisit(ref);
+    if (ref.IsLeaf()) {
+      Leaf* leaf = ref.AsLeaf();
+      if (stats_) ++stats_->leaf_accesses;
+      if (KeysEqual(leaf->key, key)) return leaf;
+      return nullptr;
+    }
+    const Node* node = ref.AsNode();
+    if (stats_) ++stats_->partial_key_matches;
+    // Optimistic path compression: compare only the stored prefix bytes; a
+    // mismatch in the non-stored tail is caught by the final leaf check.
+    const std::size_t cmp = std::min<std::size_t>(
+        node->stored_prefix_len, key.size() - depth);
+    for (std::size_t i = 0; i < cmp; ++i) {
+      if (node->prefix[i] != key[depth + i]) return nullptr;
+    }
+    if (key.size() - depth < node->prefix_len) return nullptr;
+    depth += node->prefix_len;
+    if (depth >= key.size()) return nullptr;
+    ref = FindChild(node, key[depth]);
+    ++depth;
+  }
+  return nullptr;
+}
+
+bool Tree::Remove(KeyView key) {
+  if (stats_) ++stats_->operations;
+  if (root_.IsNull()) return false;
+  if (root_.IsLeaf()) {
+    Leaf* leaf = root_.AsLeaf();
+    NoteVisit(root_);
+    if (!KeysEqual(leaf->key, key)) return false;
+    delete leaf;
+    root_ = {};
+    size_ = 0;
+    return true;
+  }
+
+  NodeRef* slot = &root_;
+  std::size_t depth = 0;
+  for (;;) {
+    Node* node = slot->AsNode();
+    NoteVisit(*slot);
+    if (stats_) ++stats_->partial_key_matches;
+    const std::size_t cmp = std::min<std::size_t>(
+        node->stored_prefix_len, key.size() - depth);
+    for (std::size_t i = 0; i < cmp; ++i) {
+      if (node->prefix[i] != key[depth + i]) return false;
+    }
+    if (key.size() - depth < node->prefix_len) return false;
+    depth += node->prefix_len;
+    if (depth >= key.size()) return false;
+    const std::uint8_t b = key[depth];
+    NodeRef* child_slot = FindChildSlot(node, b);
+    if (child_slot == nullptr) return false;
+
+    if (child_slot->IsLeaf()) {
+      Leaf* leaf = child_slot->AsLeaf();
+      NoteVisit(*child_slot);
+      if (stats_) ++stats_->leaf_accesses;
+      if (!KeysEqual(leaf->key, key)) return false;
+      delete leaf;
+      RemoveChild(node, b);
+      --size_;
+
+      if (node->type == NodeType::kN4 && node->count == 1) {
+        // Merge a single-child N4 into its child, concatenating the paths:
+        // child.prefix := node.prefix + branch_byte + child.prefix.
+        NodeRef remaining;
+        EnumerateChildren(node, [&remaining](std::uint8_t, NodeRef c) {
+          remaining = c;
+          return false;
+        });
+        if (!remaining.IsLeaf()) {
+          Node* child = remaining.AsNode();
+          const std::uint32_t total =
+              node->prefix_len + 1 + child->prefix_len;
+          const Leaf* min_leaf = Minimum(remaining);
+          const std::size_t node_start = depth - node->prefix_len;
+          SetPrefixFromKey(child, min_leaf->key, node_start, total);
+        }
+        if (observer_) {
+          observer_->OnNodeReplaced(NodeRef::FromNode(node), remaining);
+        }
+        *slot = remaining;
+        DeleteNode(node);
+      } else if (IsUnderfull(node)) {
+        Node* shrunk = Shrunk(node);
+        if (observer_) {
+          observer_->OnNodeReplaced(NodeRef::FromNode(node),
+                                    NodeRef::FromNode(shrunk));
+        }
+        *slot = NodeRef::FromNode(shrunk);
+        DeleteNode(node);
+      }
+      return true;
+    }
+    slot = child_slot;
+    ++depth;
+  }
+}
+
+bool Tree::ScanRec(NodeRef ref, std::size_t depth, KeyView lo, KeyView hi,
+                   bool lo_edge, bool hi_edge,
+                   const std::function<bool(KeyView, Value)>& callback) const {
+  if (ref.IsLeaf()) {
+    const Leaf* leaf = ref.AsLeaf();
+    // An empty hi with hi_edge off means "unbounded above" (ScanFrom).
+    if (hi_edge || !hi.empty()) {
+      if (CompareKeys(leaf->key, hi) > 0) return false;  // past the range
+    }
+    if (CompareKeys(leaf->key, lo) < 0) return true;  // before it: skip
+    return callback(leaf->key, leaf->value);
+  }
+
+  const Node* node = ref.AsNode();
+  if (lo_edge || hi_edge) {
+    // Walk the compressed path byte-by-byte against the active bounds.
+    // Bytes beyond the stored prefix are recovered from the minimum leaf.
+    const Leaf* min_leaf = nullptr;
+    std::size_t pos = depth;
+    for (std::uint32_t i = 0; i < node->prefix_len && (lo_edge || hi_edge);
+         ++i, ++pos) {
+      std::uint8_t p;
+      if (i < node->stored_prefix_len) {
+        p = node->prefix[i];
+      } else {
+        if (min_leaf == nullptr) min_leaf = Minimum(ref);
+        p = min_leaf->key[pos];
+      }
+      if (lo_edge) {
+        if (pos >= lo.size() || p > lo[pos]) {
+          lo_edge = false;  // the whole subtree is above lo
+        } else if (p < lo[pos]) {
+          return true;  // the whole subtree is below lo: skip it
+        }
+      }
+      if (hi_edge) {
+        if (pos >= hi.size() || p > hi[pos]) {
+          return false;  // the whole subtree is above hi: stop the scan
+        }
+        if (p < hi[pos]) hi_edge = false;
+      }
+    }
+  }
+  depth += node->prefix_len;
+
+  return EnumerateChildren(
+      node, [&](std::uint8_t b, NodeRef child) {
+        bool child_lo = false;
+        bool child_hi = false;
+        if (lo_edge) {
+          if (depth < lo.size()) {
+            if (b < lo[depth]) return true;  // below the range: skip child
+            child_lo = (b == lo[depth]);
+          }
+        }
+        if (hi_edge) {
+          if (depth >= hi.size() || b > hi[depth]) {
+            return false;  // above the range: stop the scan
+          }
+          child_hi = (b == hi[depth]);
+        }
+        return ScanRec(child, depth + 1, lo, hi, child_lo, child_hi, callback);
+      });
+}
+
+void Tree::Scan(KeyView lo, KeyView hi,
+                const std::function<bool(KeyView, Value)>& callback) const {
+  if (root_.IsNull()) return;
+  ScanRec(root_, 0, lo, hi, /*lo_edge=*/true, /*hi_edge=*/true, callback);
+}
+
+void Tree::ScanFrom(KeyView lo,
+                    const std::function<bool(KeyView, Value)>& callback)
+    const {
+  if (root_.IsNull()) return;
+  ScanRec(root_, 0, lo, /*hi=*/{}, /*lo_edge=*/true, /*hi_edge=*/false,
+          callback);
+}
+
+namespace {
+
+/// In-order emit of every leaf under `ref` whose key starts with `prefix`
+/// (the check is exact per leaf, so optimistic descent above is safe).
+bool EmitSubtree(NodeRef ref, KeyView prefix,
+                 const std::function<bool(KeyView, Value)>& callback) {
+  if (ref.IsLeaf()) {
+    const Leaf* leaf = ref.AsLeaf();
+    if (leaf->key.size() >= prefix.size() &&
+        CommonPrefixLength(leaf->key, prefix) == prefix.size()) {
+      return callback(leaf->key, leaf->value);
+    }
+    return true;
+  }
+  return EnumerateChildren(ref.AsNode(),
+                           [&prefix, &callback](std::uint8_t, NodeRef child) {
+                             return EmitSubtree(child, prefix, callback);
+                           });
+}
+
+}  // namespace
+
+void Tree::ScanPrefix(KeyView prefix,
+                      const std::function<bool(KeyView, Value)>& callback)
+    const {
+  NodeRef ref = root_;
+  std::size_t depth = 0;
+  // Descend until the prefix is consumed; then the whole subtree qualifies
+  // (each emitted leaf re-verifies, covering optimistic path skips).
+  while (ref.IsNode() && depth < prefix.size()) {
+    const Node* node = ref.AsNode();
+    const std::size_t cmp = std::min<std::size_t>(
+        node->stored_prefix_len, prefix.size() - depth);
+    for (std::size_t i = 0; i < cmp; ++i) {
+      if (node->prefix[i] != prefix[depth + i]) return;
+    }
+    depth += node->prefix_len;
+    if (depth >= prefix.size()) break;
+    ref = FindChild(node, prefix[depth]);
+    ++depth;
+  }
+  if (!ref.IsNull()) EmitSubtree(ref, prefix, callback);
+}
+
+namespace {
+
+NodeRef BuildSorted(std::span<const std::pair<Key, Value>> items,
+                    std::size_t depth, std::size_t& count) {
+  assert(!items.empty());
+  if (items.size() == 1) {
+    ++count;
+    return NodeRef::FromLeaf(
+        new Leaf{items.front().first, items.front().second});
+  }
+  // All keys in `items` agree on bytes [0, depth).  The common prefix of
+  // the sorted range is the common prefix of its first and last keys.
+  const KeyView first{items.front().first};
+  const KeyView last{items.back().first};
+  const std::size_t lcp =
+      CommonPrefixLength(first.subspan(depth), last.subspan(depth));
+  assert(depth + lcp < first.size() && "keys must be prefix-free");
+
+  // Partition by the discriminating byte and build children recursively.
+  std::vector<std::pair<std::uint8_t, NodeRef>> children;
+  std::size_t begin = 0;
+  while (begin < items.size()) {
+    const std::uint8_t byte = items[begin].first[depth + lcp];
+    std::size_t end = begin + 1;
+    while (end < items.size() && items[end].first[depth + lcp] == byte) {
+      ++end;
+    }
+    children.emplace_back(
+        byte, BuildSorted(items.subspan(begin, end - begin),
+                          depth + lcp + 1, count));
+    begin = end;
+  }
+
+  Node* node;
+  if (children.size() <= 4) {
+    node = new Node4;
+  } else if (children.size() <= 16) {
+    node = new Node16;
+  } else if (children.size() <= 48) {
+    node = new Node48;
+  } else {
+    node = new Node256;
+  }
+  SetPrefixFromKey(node, first, depth, static_cast<std::uint32_t>(lcp));
+  for (const auto& [byte, child] : children) AddChild(node, byte, child);
+  return NodeRef::FromNode(node);
+}
+
+}  // namespace
+
+void Tree::BulkLoadSorted(std::span<const std::pair<Key, Value>> items) {
+  assert(root_.IsNull() && "BulkLoadSorted requires an empty tree");
+  if (items.empty()) return;
+  assert(std::is_sorted(items.begin(), items.end(),
+                        [](const auto& a, const auto& b) {
+                          return CompareKeys(a.first, b.first) < 0;
+                        }));
+  std::size_t count = 0;
+  root_ = BuildSorted(items, 0, count);
+  size_ = count;
+}
+
+std::optional<Key> Tree::MinKey() const {
+  if (root_.IsNull()) return std::nullopt;
+  return Minimum(root_)->key;
+}
+
+std::optional<Key> Tree::MaxKey() const {
+  if (root_.IsNull()) return std::nullopt;
+  return Maximum(root_)->key;
+}
+
+namespace {
+
+std::size_t SubtreeHeight(NodeRef ref) {
+  if (ref.IsNull()) return 0;
+  if (ref.IsLeaf()) return 1;
+  std::size_t deepest = 0;
+  EnumerateChildren(ref.AsNode(), [&deepest](std::uint8_t, NodeRef child) {
+    deepest = std::max(deepest, SubtreeHeight(child));
+    return true;
+  });
+  return deepest + 1;
+}
+
+void AccumulateMemory(NodeRef ref, MemoryStats& stats) {
+  if (ref.IsNull()) return;
+  if (ref.IsLeaf()) {
+    ++stats.leaves;
+    stats.leaf_bytes += LeafSizeBytes(ref.AsLeaf()->key.size());
+    return;
+  }
+  const Node* node = ref.AsNode();
+  stats.internal_bytes += NodeSizeBytes(node->type);
+  switch (node->type) {
+    case NodeType::kN4:
+      ++stats.n4;
+      break;
+    case NodeType::kN16:
+      ++stats.n16;
+      break;
+    case NodeType::kN48:
+      ++stats.n48;
+      break;
+    case NodeType::kN256:
+      ++stats.n256;
+      break;
+  }
+  EnumerateChildren(node, [&stats](std::uint8_t, NodeRef child) {
+    AccumulateMemory(child, stats);
+    return true;
+  });
+}
+
+}  // namespace
+
+std::size_t Tree::Height() const { return SubtreeHeight(root_); }
+
+MemoryStats Tree::ComputeMemoryStats() const {
+  MemoryStats stats;
+  AccumulateMemory(root_, stats);
+  return stats;
+}
+
+}  // namespace dcart::art

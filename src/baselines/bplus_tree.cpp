@@ -1,0 +1,171 @@
+#include "baselines/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcart::baselines {
+
+BPlusTree::BPlusTree(std::size_t order)
+    : order_(std::max<std::size_t>(4, order)), root_(new Node) {}
+
+BPlusTree::~BPlusTree() { DestroyNode(root_); }
+
+void BPlusTree::DestroyNode(Node* node) {
+  if (!node->leaf) {
+    DestroyNode(node->first_child);
+    for (Entry& e : node->entries) DestroyNode(e.child);
+  }
+  delete node;
+}
+
+std::size_t BPlusTree::UpperBound(const Node* node, KeyView key) {
+  const auto it = std::upper_bound(
+      node->entries.begin(), node->entries.end(), key,
+      [](KeyView k, const Entry& e) { return CompareKeys(k, e.key) < 0; });
+  return static_cast<std::size_t>(it - node->entries.begin());
+}
+
+std::size_t BPlusTree::EntryBytes(const Entry& entry, bool leaf) const {
+  return entry.key.size() + (leaf ? sizeof(art::Value) : sizeof(Node*));
+}
+
+void BPlusTree::ChargeEntryWrite(const Entry& entry, bool leaf) {
+  bytes_written_ += EntryBytes(entry, leaf);
+}
+
+const BPlusTree::Node* BPlusTree::DescendToLeaf(KeyView key) const {
+  const Node* node = root_;
+  while (!node->leaf) {
+    const std::size_t pos = UpperBound(node, key);
+    node = pos == 0 ? node->first_child : node->entries[pos - 1].child;
+  }
+  return node;
+}
+
+void BPlusTree::SplitChild(Node* parent, std::size_t child_pos, Node* child) {
+  const std::size_t mid = child->entries.size() / 2;
+  auto* right = new Node;
+  right->leaf = child->leaf;
+
+  Entry separator;
+  if (child->leaf) {
+    separator.key = child->entries[mid].key;  // copied up
+    right->entries.assign(child->entries.begin() + mid,
+                          child->entries.end());
+    child->entries.resize(mid);
+    right->next = child->next;
+    child->next = right;
+  } else {
+    separator.key = child->entries[mid].key;  // moved up
+    right->first_child = child->entries[mid].child;
+    right->entries.assign(child->entries.begin() + mid + 1,
+                          child->entries.end());
+    child->entries.resize(mid);
+  }
+  // Everything in `right` plus the separator was physically rewritten.
+  for (const Entry& e : right->entries) {
+    bytes_written_ += EntryBytes(e, right->leaf);
+  }
+  bytes_written_ += separator.key.size() + sizeof(Node*);
+  separator.child = right;
+
+  // Install the separator; entries after it shift.
+  parent->entries.insert(parent->entries.begin() + child_pos,
+                         std::move(separator));
+  for (std::size_t i = child_pos + 1; i < parent->entries.size(); ++i) {
+    bytes_written_ += EntryBytes(parent->entries[i], false);
+  }
+}
+
+bool BPlusTree::Insert(KeyView key, art::Value value) {
+  if (root_->entries.size() >= order_) {
+    auto* new_root = new Node;
+    new_root->leaf = false;
+    new_root->first_child = root_;
+    SplitChild(new_root, 0, root_);
+    root_ = new_root;
+  }
+  Node* node = root_;
+  while (!node->leaf) {
+    std::size_t pos = UpperBound(node, key);
+    Node* child = pos == 0 ? node->first_child : node->entries[pos - 1].child;
+    if (child->entries.size() >= order_) {
+      SplitChild(node, pos, child);
+      // Re-route: the new separator may redirect the key.
+      pos = UpperBound(node, key);
+      child = pos == 0 ? node->first_child : node->entries[pos - 1].child;
+    }
+    node = child;
+  }
+
+  const std::size_t pos = UpperBound(node, key);
+  if (pos > 0 && KeysEqual(node->entries[pos - 1].key, key)) {
+    node->entries[pos - 1].value = value;
+    bytes_written_ += sizeof(art::Value);
+    return false;
+  }
+  Entry entry;
+  entry.key.assign(key.begin(), key.end());
+  entry.value = value;
+  ChargeEntryWrite(entry, true);
+  // Entries after the insertion point shift one slot.
+  for (std::size_t i = pos; i < node->entries.size(); ++i) {
+    bytes_written_ += EntryBytes(node->entries[i], true);
+  }
+  node->entries.insert(node->entries.begin() + pos, std::move(entry));
+  ++size_;
+  return true;
+}
+
+std::optional<art::Value> BPlusTree::Get(KeyView key) const {
+  const Node* leaf = DescendToLeaf(key);
+  const std::size_t pos = UpperBound(leaf, key);
+  if (pos > 0 && KeysEqual(leaf->entries[pos - 1].key, key)) {
+    return leaf->entries[pos - 1].value;
+  }
+  return std::nullopt;
+}
+
+bool BPlusTree::Remove(KeyView key) {
+  // Lazy deletion: the entry is erased from its leaf, separators and
+  // underfull nodes are left as-is.
+  Node* node = root_;
+  while (!node->leaf) {
+    const std::size_t pos = UpperBound(node, key);
+    node = pos == 0 ? node->first_child : node->entries[pos - 1].child;
+  }
+  const std::size_t pos = UpperBound(node, key);
+  if (pos == 0 || !KeysEqual(node->entries[pos - 1].key, key)) return false;
+  for (std::size_t i = pos; i < node->entries.size(); ++i) {
+    bytes_written_ += EntryBytes(node->entries[i], true);
+  }
+  node->entries.erase(node->entries.begin() + pos - 1);
+  --size_;
+  return true;
+}
+
+void BPlusTree::Scan(
+    KeyView lo, KeyView hi,
+    const std::function<bool(KeyView, art::Value)>& callback) const {
+  const Node* leaf = DescendToLeaf(lo);
+  while (leaf != nullptr) {
+    for (const Entry& e : leaf->entries) {
+      if (CompareKeys(e.key, lo) < 0) continue;
+      if (CompareKeys(e.key, hi) > 0) return;
+      if (!callback(e.key, e.value)) return;
+    }
+    leaf = leaf->next;
+  }
+}
+
+std::size_t BPlusTree::height() const {
+  std::size_t h = 1;
+  const Node* node = root_;
+  while (!node->leaf) {
+    node = node->first_child;
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace dcart::baselines

@@ -1,0 +1,91 @@
+// In-memory B+ tree over byte-string keys.
+//
+// The paper's Related Work positions ART against the B+ tree family:
+// "B+tree suffers from write amplification ... ART has smaller write
+// amplification because it does not hold the entire keys in its internal
+// nodes".  This substrate makes both claims measurable
+// (bench/ext_btree_vs_art): every byte the structure writes — entry
+// shifts, node splits, separator updates — is counted in
+// `bytes_written()`.
+//
+// Classic design: sorted arrays in every node, leaves chained for range
+// scans, top-down insert with preemptive split-on-full.  Deletion uses
+// lazy underflow (entries are removed; nodes are not rebalanced), which is
+// sufficient for the evaluation workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "art/node.h"
+#include "common/bytes.h"
+
+namespace dcart::baselines {
+
+class BPlusTree {
+ public:
+  /// `order` = max entries per node (fanout); 64 suits 64-byte cachelines
+  /// of 8-byte pointers.
+  explicit BPlusTree(std::size_t order = 64);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Insert or update; returns true iff newly inserted.
+  bool Insert(KeyView key, art::Value value);
+
+  std::optional<art::Value> Get(KeyView key) const;
+
+  /// Delete; returns true iff present (lazy underflow, no rebalancing).
+  bool Remove(KeyView key);
+
+  /// In-order visit of every (key, value) with lo <= key <= hi.
+  void Scan(KeyView lo, KeyView hi,
+            const std::function<bool(KeyView, art::Value)>& callback) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t height() const;
+
+  /// Total bytes the structure has physically written (entry moves, splits,
+  /// separator installs) — the write-amplification numerator.
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  struct Node;
+  struct Entry {
+    Key key;
+    art::Value value = 0;     // leaves only
+    Node* child = nullptr;    // internal only: subtree with keys >= key
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;  // sorted by key
+    Node* next = nullptr;        // leaf chain
+    Node* first_child = nullptr; // internal: subtree with keys < entries[0]
+  };
+
+  static void DestroyNode(Node* node);
+
+  /// Index of the first entry with entry.key > key (upper bound).
+  static std::size_t UpperBound(const Node* node, KeyView key);
+
+  const Node* DescendToLeaf(KeyView key) const;
+
+  /// Split a full child of `parent` (or the root).  Charges the moved
+  /// bytes.
+  void SplitChild(Node* parent, std::size_t child_pos, Node* child);
+
+  std::size_t EntryBytes(const Entry& entry, bool leaf) const;
+  void ChargeEntryWrite(const Entry& entry, bool leaf);
+
+  std::size_t order_;
+  Node* root_;
+  std::size_t size_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace dcart::baselines

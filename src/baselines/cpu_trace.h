@@ -1,0 +1,91 @@
+// Per-operation tracing and CPU cost assembly shared by the CPU baselines.
+//
+// An OpTracer rides along a (single-threaded) tree operation, observing
+// every node touch and synchronization point.  Node touches are replayed
+// through the LLC cache model (hit/miss split, fetched-vs-useful bytes);
+// synchronization points run through the ConflictModel.  EndOp() converts
+// the per-op event record into Xeon-model cycles, splitting serial
+// (contended) cycles from parallelizable ones, and optionally records a
+// modeled per-op latency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "simhw/cache_model.h"
+#include "simhw/conflict_model.h"
+#include "simhw/timing_model.h"
+#include "sync/cnode.h"
+
+namespace dcart::baselines {
+
+class OpTracer {
+ public:
+  OpTracer(const simhw::CpuModel& model, simhw::CacheModel& cache,
+           simhw::ConflictModel& conflicts, OpStats& stats);
+
+  /// Reset the per-operation scratch counters.
+  void BeginOp();
+
+  /// One internal node visited; `keys_scanned` is how many key-array slots
+  /// the child search examined (linear scan cost in N4/N16; 1 for N48/N256).
+  /// `compact_layout` models SMART-style cacheline-aligned nodes whose
+  /// header+keys+slot land in one line.
+  void VisitInternal(const sync::CNode* node, unsigned keys_scanned,
+                     bool compact_layout = false);
+
+  /// Layout-agnostic variant (used by the ROWEX tree): `addr` is the node's
+  /// address, `stored_prefix` the inline prefix bytes its header carries.
+  void VisitInternalRaw(std::uintptr_t addr, unsigned stored_prefix,
+                        unsigned keys_scanned, bool compact_layout);
+
+  /// The terminal leaf (or candidate leaf) was read.
+  void VisitLeaf(const sync::CLeaf* leaf);
+
+  /// Layout-agnostic leaf visit.
+  void VisitLeafRaw(std::uintptr_t addr, std::size_t key_len);
+
+  /// A synchronization point: node/leaf `id` locked or CAS-ed (write) or
+  /// optimistically validated (read).
+  void SyncPoint(std::uintptr_t id, bool is_write);
+
+  /// Fold this op into the totals; returns the op's modeled cycles.
+  /// Latency (if `latency` non-null) additionally models queueing delay for
+  /// `inflight` outstanding ops over `threads` workers.
+  double EndOp(std::size_t inflight, std::size_t threads,
+               LatencyHistogram* latency);
+
+  /// Cycles that cannot be parallelized across workers (critical sections
+  /// serialized by contention).
+  double serial_cycles() const { return serial_cycles_; }
+  /// All other cycles, parallelizable across workers.
+  double parallel_cycles() const { return parallel_cycles_; }
+
+ private:
+  const simhw::CpuModel& model_;
+  simhw::CacheModel& cache_;
+  simhw::ConflictModel& conflicts_;
+  OpStats& stats_;
+
+  // Per-op scratch.
+  std::uint32_t op_pkm_ = 0;
+  std::uint32_t op_lines_ = 0;
+  std::uint32_t op_misses_ = 0;
+  std::uint32_t op_acquisitions_ = 0;
+  std::uint32_t op_contentions_ = 0;
+  std::uint32_t op_restarts_ = 0;
+  std::uint32_t op_waiters_ = 0;  // queue depth behind contended accesses
+
+  // Run accumulators.
+  double serial_cycles_ = 0.0;
+  double parallel_cycles_ = 0.0;
+  double cycles_ema_ = 0.0;  // smoothed per-op service time for queue model
+};
+
+/// Assemble total modeled seconds for a CPU run: parallel cycles spread over
+/// the worker pool, serial cycles paid in full.
+double CpuSeconds(const simhw::CpuModel& model, double parallel_cycles,
+                  double serial_cycles, std::size_t threads);
+
+}  // namespace dcart::baselines

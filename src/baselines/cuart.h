@@ -1,0 +1,40 @@
+// CuART-like GPU baseline (Koppehel et al., ICPP 2021) on a modeled A100.
+//
+// CuART offloads radix-tree lookups/updates to the GPU in large batches.
+// The engine reproduces its algorithmic character:
+//   1. each batch is radix-sorted by key, so identical keys become adjacent
+//      and warps touch clustered subtrees;
+//   2. duplicate keys in a batch coalesce into one traversal whose result is
+//      broadcast (reads) or resolved last-writer-wins (writes);
+//   3. traversals are pointer chases through GPU global memory — latency is
+//      hidden across warps in flight, not eliminated;
+//   4. structure-modifying inserts take GPU spinlocks on the node they
+//      modify; sorted adjacency concentrates those locks on hot nodes.
+//
+// The timing model charges per-batch sort + kernel-launch overhead plus
+// memory transactions spread over (SMs x warps-in-flight); contended atomic
+// retries serialize.  Energy is board power x modeled time.
+#pragma once
+
+#include "baselines/engine.h"
+#include "baselines/olc_tree.h"
+#include "simhw/timing_model.h"
+
+namespace dcart::baselines {
+
+class CuartEngine : public IndexEngine {
+ public:
+  explicit CuartEngine(simhw::GpuModel model = {});
+
+  std::string name() const override { return "CuART"; }
+  void Load(const std::vector<std::pair<Key, art::Value>>& items) override;
+  ExecutionResult Run(std::span<const Operation> ops,
+                      const RunConfig& config) override;
+  std::optional<art::Value> Lookup(KeyView key) const override;
+
+ private:
+  simhw::GpuModel model_;
+  OlcTree tree_;  // device-resident tree image
+};
+
+}  // namespace dcart::baselines

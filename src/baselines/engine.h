@@ -1,0 +1,69 @@
+// Common engine interface implemented by every evaluated system:
+// ART-OLC, Heart-like, SMART-like (CPU), CuART-like (GPU model),
+// DCART-C (software CTT), and DCART (FPGA accelerator simulator).
+//
+// Run() executes the operation stream *for real* against the engine's index
+// (every read returns the true value; every write lands), while the engine's
+// platform model converts the exactly-measured event stream into modeled
+// seconds/joules (see DESIGN.md, "Measurement methodology").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "art/node.h"
+#include "common/bytes.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "workload/ops.h"
+
+namespace dcart {
+
+struct RunConfig {
+  /// Operations concurrently in flight (the concurrency level the paper
+  /// sweeps in Fig. 2(d) and Fig. 12(a)); also the conflict-window size.
+  std::size_t inflight_ops = 1024;
+  /// Logical worker threads for the CPU platform model.
+  std::size_t threads = 96;
+  /// Batch size for batch-oriented engines (CuART sort batches, DCART's
+  /// PCU/SOU batches).
+  std::size_t batch_size = 8192;
+  /// Collect modeled per-operation latencies (Fig. 10).
+  bool collect_latency = false;
+};
+
+struct ExecutionResult {
+  OpStats stats;
+  double seconds = 0.0;        // modeled platform execution time
+  double energy_joules = 0.0;  // modeled platform energy
+  std::string platform;        // "cpu" | "gpu" | "fpga"
+  LatencyHistogram latency_ns;
+  std::uint64_t reads_hit = 0;  // reads that found their key (sanity check)
+
+  double ThroughputOpsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(stats.operations) / seconds
+                         : 0.0;
+  }
+};
+
+class IndexEngine {
+ public:
+  virtual ~IndexEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Bulk-load the initial key set (unmeasured, single-threaded).
+  virtual void Load(const std::vector<std::pair<Key, art::Value>>& items) = 0;
+
+  /// Execute the operation stream and model its cost.
+  virtual ExecutionResult Run(std::span<const Operation> ops,
+                              const RunConfig& config) = 0;
+
+  /// Quiescent point lookup, used by tests to verify post-run state.
+  virtual std::optional<art::Value> Lookup(KeyView key) const = 0;
+};
+
+}  // namespace dcart

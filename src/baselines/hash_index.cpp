@@ -1,0 +1,120 @@
+#include "baselines/hash_index.h"
+
+#include <bit>
+#include <cassert>
+
+namespace dcart::baselines {
+
+HashIndex::HashIndex(std::size_t initial_capacity) {
+  slots_.resize(std::bit_ceil(std::max<std::size_t>(16, initial_capacity)));
+}
+
+std::size_t HashIndex::Probe(KeyView key, std::uint64_t hash,
+                             bool& found) const {
+  std::size_t index = HomeIndex(hash);
+  for (;;) {
+    const Slot& slot = slots_[index];
+    if (!slot.occupied) {
+      found = false;
+      return index;
+    }
+    if (slot.hash == hash && KeysEqual(slot.key, key)) {
+      found = true;
+      return index;
+    }
+    index = (index + 1) & (slots_.size() - 1);
+  }
+}
+
+void HashIndex::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.clear();
+  slots_.resize(old.size() * 2);
+  for (Slot& slot : old) {
+    if (!slot.occupied) continue;
+    std::size_t index = HomeIndex(slot.hash);
+    while (slots_[index].occupied) {
+      index = (index + 1) & (slots_.size() - 1);
+    }
+    slots_[index] = std::move(slot);
+  }
+}
+
+bool HashIndex::Insert(KeyView key, art::Value value) {
+  if ((size_ + 1) * 10 > slots_.size() * 7) Grow();  // 70 % load factor
+  const std::uint64_t hash = HashKey(key);
+  bool found = false;
+  const std::size_t index = Probe(key, hash, found);
+  Slot& slot = slots_[index];
+  if (found) {
+    slot.value = value;
+    return false;
+  }
+  slot.key.assign(key.begin(), key.end());
+  slot.value = value;
+  slot.hash = hash;
+  slot.occupied = true;
+  ++size_;
+  return true;
+}
+
+std::optional<art::Value> HashIndex::Get(KeyView key) const {
+  bool found = false;
+  const std::size_t index = Probe(key, HashKey(key), found);
+  if (!found) return std::nullopt;
+  return slots_[index].value;
+}
+
+bool HashIndex::Remove(KeyView key) {
+  bool found = false;
+  std::size_t index = Probe(key, HashKey(key), found);
+  if (!found) return false;
+  // Backward-shift deletion: pull displaced successors into the hole so no
+  // tombstones accumulate.
+  std::size_t hole = index;
+  for (;;) {
+    slots_[hole] = Slot{};
+    std::size_t next = (hole + 1) & (slots_.size() - 1);
+    while (slots_[next].occupied) {
+      const std::size_t home = HomeIndex(slots_[next].hash);
+      // Can `next` legally move into `hole`?  Yes iff its home lies outside
+      // the cyclic gap (hole, next].
+      const bool movable = (next > hole) ? (home <= hole || home > next)
+                                         : (home <= hole && home > next);
+      if (movable) {
+        slots_[hole] = std::move(slots_[next]);
+        hole = next;
+        break;
+      }
+      next = (next + 1) & (slots_.size() - 1);
+    }
+    if (!slots_[hole].occupied) break;  // moved an entry; continue shifting
+    // (loop continues with the new hole)
+  }
+  --size_;
+  return true;
+}
+
+void HashIndex::RangeScanByFullSweep(
+    KeyView lo, KeyView hi,
+    const std::function<bool(KeyView, art::Value)>& callback) const {
+  for (const Slot& slot : slots_) {
+    if (!slot.occupied) continue;
+    if (CompareKeys(slot.key, lo) >= 0 && CompareKeys(slot.key, hi) <= 0) {
+      if (!callback(slot.key, slot.value)) return;
+    }
+  }
+}
+
+double HashIndex::MeanProbeLength() const {
+  if (size_ == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].occupied) continue;
+    const std::size_t home = HomeIndex(slots_[i].hash);
+    total += (i - home) & (slots_.size() - 1);
+  }
+  return static_cast<double>(total) / static_cast<double>(size_);
+}
+
+}  // namespace dcart::baselines

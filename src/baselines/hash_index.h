@@ -1,0 +1,64 @@
+// Open-addressing hash index over byte-string keys.
+//
+// The paper's Related Work contrasts tree indexes with hash indexes: O(1)
+// point access but no efficient range queries.  This substrate makes that
+// comparison runnable (bench/ext_hash_vs_tree): linear-probing, power-of-two
+// capacity, amortized growth at 70 % load, tombstone-free deletion via
+// backward-shift.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "art/node.h"
+#include "common/bytes.h"
+
+namespace dcart::baselines {
+
+class HashIndex {
+ public:
+  explicit HashIndex(std::size_t initial_capacity = 1024);
+
+  /// Insert or update; returns true iff the key was newly inserted.
+  bool Insert(KeyView key, art::Value value);
+
+  std::optional<art::Value> Get(KeyView key) const;
+
+  /// Delete; returns true iff the key was present.
+  bool Remove(KeyView key);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// The only way to answer a range query on a hash index: scan every slot
+  /// and filter.  Provided to make the O(n)-per-range-query cost measurable
+  /// (callback returns false to stop).  Emission order is arbitrary.
+  void RangeScanByFullSweep(
+      KeyView lo, KeyView hi,
+      const std::function<bool(KeyView, art::Value)>& callback) const;
+
+  /// Probe-length statistics (displacement from home slot), for tests.
+  double MeanProbeLength() const;
+
+ private:
+  struct Slot {
+    Key key;  // empty = vacant
+    art::Value value = 0;
+    std::uint64_t hash = 0;
+    bool occupied = false;
+  };
+
+  std::size_t HomeIndex(std::uint64_t hash) const {
+    return hash & (slots_.size() - 1);
+  }
+  void Grow();
+  /// Index of the slot holding `key`, or the first vacant probe position.
+  std::size_t Probe(KeyView key, std::uint64_t hash, bool& found) const;
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dcart::baselines

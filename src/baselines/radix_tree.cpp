@@ -1,0 +1,108 @@
+#include "baselines/radix_tree.h"
+
+#include <vector>
+
+namespace dcart::baselines {
+
+RadixTree::~RadixTree() { Destroy(root_); }
+
+void RadixTree::Destroy(Node* node) {
+  if (node == nullptr) return;
+  for (Node* child : node->children) Destroy(child);
+  delete node;
+}
+
+bool RadixTree::Insert(KeyView key, art::Value value) {
+  if (root_ == nullptr) root_ = new Node;
+  Node* node = root_;
+  for (std::uint8_t b : key) {
+    Node*& child = node->children[b];
+    if (child == nullptr) {
+      child = new Node;
+      ++node->child_count;
+    }
+    node = child;
+  }
+  const bool inserted = !node->has_value;
+  node->has_value = true;
+  node->value = value;
+  size_ += inserted;
+  return inserted;
+}
+
+std::optional<art::Value> RadixTree::Get(KeyView key) const {
+  const Node* node = root_;
+  for (std::uint8_t b : key) {
+    if (node == nullptr) return std::nullopt;
+    node = node->children[b];
+  }
+  if (node == nullptr || !node->has_value) return std::nullopt;
+  return node->value;
+}
+
+bool RadixTree::Remove(KeyView key) {
+  // Collect the path so empty chains can be pruned bottom-up.
+  std::vector<Node*> path;
+  path.reserve(key.size() + 1);
+  Node* node = root_;
+  for (std::uint8_t b : key) {
+    if (node == nullptr) return false;
+    path.push_back(node);
+    node = node->children[b];
+  }
+  if (node == nullptr || !node->has_value) return false;
+  node->has_value = false;
+  --size_;
+  // Prune: delete trailing nodes that hold neither values nor children.
+  for (std::size_t i = key.size(); i-- > 0;) {
+    Node* child = path[i]->children[key[i]];
+    if (child->has_value || child->child_count > 0) break;
+    delete child;
+    path[i]->children[key[i]] = nullptr;
+    --path[i]->child_count;
+  }
+  return true;
+}
+
+void RadixTree::Scan(
+    KeyView lo, KeyView hi,
+    const std::function<bool(KeyView, art::Value)>& callback) const {
+  // Depth-first in byte order with exact per-key bound checks; the key is
+  // assembled along the path.
+  Key current;
+  const std::function<bool(const Node*)> walk =
+      [&](const Node* node) -> bool {
+    if (node == nullptr) return true;
+    if (node->has_value) {
+      if (CompareKeys(current, hi) > 0) return false;
+      if (CompareKeys(current, lo) >= 0) {
+        if (!callback(current, node->value)) return false;
+      }
+    }
+    for (int b = 0; b < 256; ++b) {
+      if (node->children[b] == nullptr) continue;
+      current.push_back(static_cast<std::uint8_t>(b));
+      const bool keep_going = walk(node->children[b]);
+      current.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  walk(root_);
+}
+
+RadixTree::MemoryStats RadixTree::ComputeMemoryStats() const {
+  MemoryStats stats;
+  const std::function<void(const Node*)> walk = [&](const Node* node) {
+    if (node == nullptr) return;
+    ++stats.nodes;
+    stats.node_bytes += sizeof(Node);
+    stats.used_slots += node->child_count;
+    stats.total_slots += 256;
+    for (const Node* child : node->children) walk(child);
+  };
+  walk(root_);
+  return stats;
+}
+
+}  // namespace dcart::baselines

@@ -1,0 +1,72 @@
+// Traditional (non-adaptive) 256-ary radix tree.
+//
+// The paper's Fig. 1 / Sec. II-A background: every internal node reserves
+// all 256 child pointers and there is no path compression, so sparse key
+// sets waste enormous memory — the problem ART's adaptive nodes and
+// compressed paths solve.  This substrate makes the comparison measurable
+// (bench/ext_radix_memory).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "art/node.h"
+#include "common/bytes.h"
+
+namespace dcart::baselines {
+
+class RadixTree {
+ public:
+  RadixTree() = default;
+  ~RadixTree();
+
+  RadixTree(const RadixTree&) = delete;
+  RadixTree& operator=(const RadixTree&) = delete;
+
+  /// Insert or update; returns true iff newly inserted.
+  bool Insert(KeyView key, art::Value value);
+
+  std::optional<art::Value> Get(KeyView key) const;
+
+  /// Delete; returns true iff present.  Empty chains are pruned.
+  bool Remove(KeyView key);
+
+  /// In-order visit of every (key, value) with lo <= key <= hi.
+  void Scan(KeyView lo, KeyView hi,
+            const std::function<bool(KeyView, art::Value)>& callback) const;
+
+  std::size_t size() const { return size_; }
+
+  struct MemoryStats {
+    std::size_t nodes = 0;
+    std::size_t node_bytes = 0;
+    std::size_t used_slots = 0;
+    std::size_t total_slots = 0;
+    double SlotUtilization() const {
+      return total_slots ? static_cast<double>(used_slots) /
+                               static_cast<double>(total_slots)
+                         : 0.0;
+    }
+  };
+  MemoryStats ComputeMemoryStats() const;
+
+ private:
+  struct Node {
+    std::array<Node*, 256> children{};
+    // Terminal value for the key ending at this node (keys are prefix-free,
+    // so a terminal node never also has children — but we keep it general).
+    bool has_value = false;
+    art::Value value = 0;
+    std::uint16_t child_count = 0;
+  };
+
+  static void Destroy(Node* node);
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dcart::baselines

@@ -1,0 +1,61 @@
+#include "baselines/rowex_engine.h"
+
+#include "simhw/cache_model.h"
+#include "simhw/conflict_model.h"
+
+namespace dcart::baselines {
+
+ArtRowexEngine::ArtRowexEngine(simhw::CpuModel model) : model_(model) {}
+
+void ArtRowexEngine::Load(
+    const std::vector<std::pair<Key, art::Value>>& items) {
+  tree_.BulkLoad(items);
+}
+
+std::optional<art::Value> ArtRowexEngine::Lookup(KeyView key) const {
+  const rowex::RLeaf* leaf = tree_.FindLeafTraced(key, nullptr);
+  if (leaf == nullptr) return std::nullopt;
+  return leaf->value.load(std::memory_order_acquire);
+}
+
+ExecutionResult ArtRowexEngine::Run(std::span<const Operation> ops,
+                                    const RunConfig& config) {
+  ExecutionResult result;
+  result.platform = "cpu";
+
+  simhw::CacheModel cache(model_.llc_bytes, model_.cacheline_bytes, 16);
+  simhw::ConflictModel conflicts(config.inflight_ops,
+                                 simhw::SyncProtocol::kLockBased);
+  OpTracer tracer(model_, cache, conflicts, result.stats);
+  sync::SyncStats scratch;
+  LatencyHistogram* latency =
+      config.collect_latency ? &result.latency_ns : nullptr;
+
+  for (const Operation& op : ops) {
+    tracer.BeginOp();
+    if (op.type == OpType::kScan) {
+      result.stats.scan_entries +=
+          tree_.ScanTraced(op.key, op.scan_count, &tracer);
+    } else if (op.type == OpType::kRead) {
+      const rowex::RNode* last_internal = nullptr;
+      const rowex::RLeaf* leaf =
+          tree_.FindLeafTraced(op.key, &tracer, &last_internal);
+      // Readers are lock-free but blocked by the node's write exclusion.
+      if (last_internal != nullptr) {
+        tracer.SyncPoint(reinterpret_cast<std::uintptr_t>(last_internal),
+                         false);
+      }
+      if (leaf != nullptr) ++result.reads_hit;
+    } else {
+      tree_.Insert(op.key, op.value, /*tid=*/0, scratch, &tracer);
+    }
+    tracer.EndOp(config.inflight_ops, config.threads, latency);
+  }
+
+  result.seconds = CpuSeconds(model_, tracer.parallel_cycles(),
+                              tracer.serial_cycles(), config.threads);
+  result.energy_joules = result.seconds * model_.power_watts;
+  return result;
+}
+
+}  // namespace dcart::baselines

@@ -1,0 +1,35 @@
+// The "ART" baseline engine backed by the genuine ROWEX tree — the protocol
+// the paper cites for its ART baseline ([9], Leis et al. 2016).
+//
+// Event semantics match the lock-based protocol of CpuEngine's "ART"
+// configuration: every write acquires the target node's lock (ROWEX write
+// exclusion), and readers — although they take no locks — are blocked by
+// in-window writers on the same node in the conflict model (the write
+// exclusion they must wait out is the synchronization cost Fig. 2/7
+// measure).
+#pragma once
+
+#include "baselines/engine.h"
+#include "baselines/rowex_tree.h"
+#include "simhw/timing_model.h"
+
+namespace dcart::baselines {
+
+class ArtRowexEngine : public IndexEngine {
+ public:
+  explicit ArtRowexEngine(simhw::CpuModel model = {});
+
+  std::string name() const override { return "ART"; }
+  void Load(const std::vector<std::pair<Key, art::Value>>& items) override;
+  ExecutionResult Run(std::span<const Operation> ops,
+                      const RunConfig& config) override;
+  std::optional<art::Value> Lookup(KeyView key) const override;
+
+  RowexTree& tree() { return tree_; }
+
+ private:
+  simhw::CpuModel model_;
+  RowexTree tree_;
+};
+
+}  // namespace dcart::baselines

@@ -1,0 +1,719 @@
+#include "baselines/rowex_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace dcart::baselines {
+
+using namespace rowex;
+using sync::SyncStats;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Node operations.  Readers are lock-free: append-publication order (child
+// slot, key byte, count) makes every entry below `count` fully initialized.
+// Writer-side mutation requires the node's lock.
+// ---------------------------------------------------------------------------
+
+RRef RFindChild(const RNode* node, std::uint8_t b) {
+  switch (node->type) {
+    case NodeType::kN4: {
+      const auto* n = static_cast<const RNode4*>(node);
+      const std::uint16_t count = n->count.load(std::memory_order_acquire);
+      for (std::uint16_t i = 0; i < count && i < 4; ++i) {
+        if (n->keys[i].load(std::memory_order_acquire) == b) {
+          return LoadSlot(n->children[i]);
+        }
+      }
+      return {};
+    }
+    case NodeType::kN16: {
+      const auto* n = static_cast<const RNode16*>(node);
+      const std::uint16_t count = n->count.load(std::memory_order_acquire);
+      for (std::uint16_t i = 0; i < count && i < 16; ++i) {
+        if (n->keys[i].load(std::memory_order_acquire) == b) {
+          return LoadSlot(n->children[i]);
+        }
+      }
+      return {};
+    }
+    case NodeType::kN48: {
+      const auto* n = static_cast<const RNode48*>(node);
+      const std::uint8_t slot =
+          n->child_index[b].load(std::memory_order_acquire);
+      if (slot == RNode48::kEmptySlot || slot >= 48) return {};
+      return LoadSlot(n->children[slot]);
+    }
+    case NodeType::kN256:
+      return LoadSlot(static_cast<const RNode256*>(node)->children[b]);
+  }
+  return {};
+}
+
+/// Mutable slot for byte `b` (caller holds the node lock).
+RSlot* RFindSlot(RNode* node, std::uint8_t b) {
+  switch (node->type) {
+    case NodeType::kN4: {
+      auto* n = static_cast<RNode4*>(node);
+      const std::uint16_t count = n->count.load(std::memory_order_relaxed);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        if (n->keys[i].load(std::memory_order_relaxed) == b) {
+          return &n->children[i];
+        }
+      }
+      return nullptr;
+    }
+    case NodeType::kN16: {
+      auto* n = static_cast<RNode16*>(node);
+      const std::uint16_t count = n->count.load(std::memory_order_relaxed);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        if (n->keys[i].load(std::memory_order_relaxed) == b) {
+          return &n->children[i];
+        }
+      }
+      return nullptr;
+    }
+    case NodeType::kN48: {
+      auto* n = static_cast<RNode48*>(node);
+      const std::uint8_t slot =
+          n->child_index[b].load(std::memory_order_relaxed);
+      return slot == RNode48::kEmptySlot ? nullptr : &n->children[slot];
+    }
+    case NodeType::kN256: {
+      auto* n = static_cast<RNode256*>(node);
+      return LoadSlot(n->children[b]).IsNull() ? nullptr : &n->children[b];
+    }
+  }
+  return nullptr;
+}
+
+bool RIsFull(const RNode* node) {
+  const std::uint16_t count = node->count.load(std::memory_order_relaxed);
+  switch (node->type) {
+    case NodeType::kN4:
+      return count >= 4;
+    case NodeType::kN16:
+      return count >= 16;
+    case NodeType::kN48:
+      return count >= 48;
+    case NodeType::kN256:
+      return false;
+  }
+  return false;
+}
+
+/// Append a child (caller holds the lock).  Publication order: slot bytes
+/// first, key/index second, count last — concurrent scans never see a
+/// half-initialized entry.
+void RAddChild(RNode* node, std::uint8_t b, RRef child) {
+  const std::uint16_t count = node->count.load(std::memory_order_relaxed);
+  switch (node->type) {
+    case NodeType::kN4: {
+      auto* n = static_cast<RNode4*>(node);
+      StoreSlot(n->children[count], child);
+      n->keys[count].store(b, std::memory_order_release);
+      break;
+    }
+    case NodeType::kN16: {
+      auto* n = static_cast<RNode16*>(node);
+      StoreSlot(n->children[count], child);
+      n->keys[count].store(b, std::memory_order_release);
+      break;
+    }
+    case NodeType::kN48: {
+      auto* n = static_cast<RNode48*>(node);
+      std::uint8_t slot = 0;
+      while (!LoadSlot(n->children[slot]).IsNull()) ++slot;
+      StoreSlot(n->children[slot], child);
+      n->child_index[b].store(slot, std::memory_order_release);
+      break;
+    }
+    case NodeType::kN256: {
+      StoreSlot(static_cast<RNode256*>(node)->children[b], child);
+      break;
+    }
+  }
+  node->count.store(count + 1, std::memory_order_release);
+}
+
+bool REnumerate(const RNode* node,
+                const std::function<bool(std::uint8_t, RRef)>& fn) {
+  switch (node->type) {
+    case NodeType::kN4: {
+      const auto* n = static_cast<const RNode4*>(node);
+      const std::uint16_t count = n->count.load(std::memory_order_acquire);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        if (!fn(n->keys[i].load(std::memory_order_acquire),
+                LoadSlot(n->children[i]))) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case NodeType::kN16: {
+      const auto* n = static_cast<const RNode16*>(node);
+      const std::uint16_t count = n->count.load(std::memory_order_acquire);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        if (!fn(n->keys[i].load(std::memory_order_acquire),
+                LoadSlot(n->children[i]))) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case NodeType::kN48: {
+      const auto* n = static_cast<const RNode48*>(node);
+      for (int b = 0; b < 256; ++b) {
+        const std::uint8_t slot =
+            n->child_index[b].load(std::memory_order_acquire);
+        if (slot != RNode48::kEmptySlot) {
+          if (!fn(static_cast<std::uint8_t>(b), LoadSlot(n->children[slot]))) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    case NodeType::kN256: {
+      const auto* n = static_cast<const RNode256*>(node);
+      for (int b = 0; b < 256; ++b) {
+        const RRef child = LoadSlot(n->children[b]);
+        if (!child.IsNull()) {
+          if (!fn(static_cast<std::uint8_t>(b), child)) return false;
+        }
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+
+/// Key-array slots a point lookup's child search examines (cost-model
+/// input, mirroring ApproxScanCost for the OLC tree).
+unsigned RApproxScan(const RNode* node) {
+  const std::uint16_t count = node->count.load(std::memory_order_relaxed);
+  switch (node->type) {
+    case NodeType::kN4:
+    case NodeType::kN16:
+      return std::max<unsigned>(1, count / 2);
+    case NodeType::kN48:
+    case NodeType::kN256:
+      return 1;
+  }
+  return 1;
+}
+
+/// Any leaf under `ref`; its key carries the subtree's full path bytes.
+/// Lock-free: slots always hold valid references.  Returns nullptr only on
+/// a torn transient (caller restarts).
+RLeaf* RAnyLeaf(RRef ref) {
+  while (ref.IsNode()) {
+    RRef next;
+    REnumerate(ref.AsNode(), [&next](std::uint8_t, RRef child) {
+      next = child;
+      return false;
+    });
+    if (next.IsNull()) return nullptr;
+    ref = next;
+  }
+  return ref.IsLeaf() ? ref.AsLeaf() : nullptr;
+}
+
+/// Next-larger node with identical content (caller holds the old lock).
+RNode* RGrown(const RNode* node) {
+  RNode* bigger = nullptr;
+  switch (node->type) {
+    case NodeType::kN4:
+      bigger = new RNode16;
+      break;
+    case NodeType::kN16:
+      bigger = new RNode48;
+      break;
+    case NodeType::kN48:
+      bigger = new RNode256;
+      break;
+    case NodeType::kN256:
+      assert(false);
+      return nullptr;
+  }
+  bigger->set_prefix(node->prefix());
+  REnumerate(node, [bigger](std::uint8_t b, RRef child) {
+    RAddChild(bigger, b, child);
+    return true;
+  });
+  return bigger;
+}
+
+void RDeleteNode(RNode* node) {
+  switch (node->type) {
+    case NodeType::kN4:
+      delete static_cast<RNode4*>(node);
+      break;
+    case NodeType::kN16:
+      delete static_cast<RNode16*>(node);
+      break;
+    case NodeType::kN48:
+      delete static_cast<RNode48*>(node);
+      break;
+    case NodeType::kN256:
+      delete static_cast<RNode256*>(node);
+      break;
+  }
+}
+
+void RDestroySubtree(RRef ref) {
+  if (ref.IsNull()) return;
+  if (ref.IsLeaf()) {
+    delete ref.AsLeaf();
+    return;
+  }
+  RNode* node = ref.AsNode();
+  REnumerate(node, [](std::uint8_t, RRef child) {
+    RDestroySubtree(child);
+    return true;
+  });
+  RDeleteNode(node);
+}
+
+PackedPrefix MakePrefixFromKey(std::uint16_t level, std::uint16_t len,
+                               KeyView full_key, std::size_t offset) {
+  std::uint8_t bytes[PackedPrefix::kMaxStored] = {};
+  const unsigned stored =
+      std::min<unsigned>(len, PackedPrefix::kMaxStored);
+  for (unsigned i = 0; i < stored; ++i) {
+    bytes[i] = full_key[offset + i];
+  }
+  return PackedPrefix::Make(level, len, bytes);
+}
+
+}  // namespace
+
+RowexTree::RowexTree(std::size_t max_threads)
+    : epochs_(std::make_unique<sync::EpochManager>(max_threads)) {}
+
+RowexTree::~RowexTree() {
+  epochs_->DrainAll();
+  RDestroySubtree(root());
+}
+
+void RowexTree::BulkLoad(
+    const std::vector<std::pair<Key, art::Value>>& items) {
+  SyncStats scratch;
+  for (const auto& [key, value] : items) {
+    Insert(key, value, 0, scratch);
+  }
+}
+
+std::optional<art::Value> RowexTree::Lookup(KeyView key, std::size_t tid,
+                                            SyncStats& stats) const {
+  (void)stats;  // readers take no locks and never restart under ROWEX
+  sync::EpochManager::Guard guard(*epochs_, tid);
+  RRef ref = RRef::FromRaw(root_.load(std::memory_order_acquire));
+  while (!ref.IsNull()) {
+    if (ref.IsLeaf()) {
+      const RLeaf* leaf = ref.AsLeaf();
+      if (KeysEqual(leaf->key, key)) {
+        return leaf->value.load(std::memory_order_acquire);
+      }
+      return std::nullopt;
+    }
+    const RNode* node = ref.AsNode();
+    // The (level, prefix) pair is read in ONE atomic load; matching is
+    // anchored at the node's own level, so a concurrent split (which moves
+    // the level forward and shrinks the prefix together) is harmless.
+    const PackedPrefix pp = node->prefix();
+    const std::size_t level = pp.level();
+    const std::size_t prefix_len = pp.prefix_len();
+    if (key.size() <= level + prefix_len) return std::nullopt;
+    const unsigned stored = pp.stored();
+    for (unsigned i = 0; i < stored; ++i) {
+      if (pp.byte(i) != key[level + i]) return std::nullopt;
+    }
+    // Bytes beyond the 4 stored ones are verified by the leaf's full key.
+    ref = RFindChild(node, key[level + prefix_len]);
+  }
+  return std::nullopt;
+}
+
+bool RowexTree::Insert(KeyView key, art::Value value, std::size_t tid,
+                       SyncStats& stats, OpTracer* tracer) {
+  assert(!key.empty());
+  assert(key.size() < (1u << 16) && "ROWEX levels are 16-bit");
+  sync::EpochManager::Guard guard(*epochs_, tid);
+  for (;;) {
+    const Outcome outcome = TryInsert(key, value, tid, stats, tracer);
+    if (outcome != Outcome::kRestart) return outcome == Outcome::kInserted;
+  }
+}
+
+RowexTree::Outcome RowexTree::TryInsert(KeyView key, art::Value value,
+                                        std::size_t tid, SyncStats& stats,
+                                        OpTracer* tracer) {
+  bool rs = false;
+
+  std::uintptr_t root_raw = root_.load(std::memory_order_acquire);
+  RRef root_ref = RRef::FromRaw(root_raw);
+
+  if (root_ref.IsNull()) {
+    auto* leaf = new RLeaf(key, value);
+    ++stats.atomic_ops;
+    if (root_.compare_exchange_strong(root_raw, RRef::FromLeaf(leaf).raw(),
+                                      std::memory_order_acq_rel)) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::kInserted;
+    }
+    delete leaf;
+    ++stats.lock_contentions;
+    return Outcome::kRestart;
+  }
+
+  if (root_ref.IsLeaf()) {
+    RLeaf* leaf = root_ref.AsLeaf();
+    if (KeysEqual(leaf->key, key)) {
+      ++stats.atomic_ops;
+      leaf->value.store(value, std::memory_order_release);
+      return Outcome::kUpdated;
+    }
+    const std::size_t lcp = CommonPrefixLength(leaf->key, key);
+    assert(lcp < key.size() && lcp < leaf->key.size());
+    auto* branch = new RNode4;
+    branch->set_prefix(MakePrefixFromKey(0, static_cast<std::uint16_t>(lcp),
+                                         key, 0));
+    auto* new_leaf = new RLeaf(key, value);
+    RAddChild(branch, key[lcp], RRef::FromLeaf(new_leaf));
+    RAddChild(branch, leaf->key[lcp], root_ref);
+    ++stats.atomic_ops;
+    if (root_.compare_exchange_strong(root_raw, RRef::FromNode(branch).raw(),
+                                      std::memory_order_acq_rel)) {
+      ++stats.lock_acquisitions;
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::kInserted;
+    }
+    delete new_leaf;
+    RDeleteNode(branch);
+    ++stats.lock_contentions;
+    return Outcome::kRestart;
+  }
+
+  RNode* node = root_ref.AsNode();
+  RNode* parent = nullptr;
+  std::uint8_t parent_key = 0;
+
+  for (;;) {
+    const PackedPrefix pp = node->prefix();
+    const std::size_t level = pp.level();
+    const std::size_t prefix_len = pp.prefix_len();
+    assert(level + prefix_len < key.size() && "keys must be prefix-free");
+    if (tracer) {
+      tracer->VisitInternalRaw(reinterpret_cast<std::uintptr_t>(node),
+                               pp.stored(), RApproxScan(node), false);
+    }
+
+    // Writer-side prefix verification must be exact: the stored 4 bytes
+    // come from the packed word, the rest from any leaf of the subtree
+    // (those bytes are common to the whole subtree).
+    std::size_t mismatch = prefix_len;
+    {
+      const unsigned stored = pp.stored();
+      for (unsigned i = 0; i < stored; ++i) {
+        if (pp.byte(i) != key[level + i]) {
+          mismatch = i;
+          break;
+        }
+      }
+      if (mismatch == prefix_len && prefix_len > stored) {
+        const RLeaf* probe = RAnyLeaf(RRef::FromNode(node));
+        if (probe == nullptr) return Outcome::kRestart;
+        for (std::size_t i = stored; i < prefix_len; ++i) {
+          if (probe->key[level + i] != key[level + i]) {
+            mismatch = i;
+            break;
+          }
+        }
+      }
+    }
+
+    if (mismatch < prefix_len) {
+      // Split the compressed path.  Lock the parent (spin) and the node
+      // (try, to stay deadlock-free against growers), then re-verify.
+      if (parent != nullptr) {
+        parent->lock.WriteLockOrRestart(rs, stats);
+        if (rs) return Outcome::kRestart;
+        if (parent->obsolete.load(std::memory_order_acquire) ||
+            RFindSlot(parent, parent_key) == nullptr ||
+            !(LoadSlot(*RFindSlot(parent, parent_key)) ==
+              RRef::FromNode(node))) {
+          parent->lock.WriteUnlock(stats);
+          return Outcome::kRestart;
+        }
+      }
+      node->lock.TryWriteLockOrRestart(rs, stats);
+      if (rs) {
+        if (parent) parent->lock.WriteUnlock(stats);
+        return Outcome::kRestart;
+      }
+      if (node->obsolete.load(std::memory_order_acquire) ||
+          node->prefix().word != pp.word) {
+        node->lock.WriteUnlock(stats);
+        if (parent) parent->lock.WriteUnlock(stats);
+        return Outcome::kRestart;
+      }
+      const RLeaf* probe = RAnyLeaf(RRef::FromNode(node));
+      if (probe == nullptr) {
+        node->lock.WriteUnlock(stats);
+        if (parent) parent->lock.WriteUnlock(stats);
+        return Outcome::kRestart;
+      }
+      auto* branch = new RNode4;
+      branch->set_prefix(MakePrefixFromKey(
+          static_cast<std::uint16_t>(level),
+          static_cast<std::uint16_t>(mismatch), probe->key, level));
+      auto* new_leaf = new RLeaf(key, value);
+      RAddChild(branch, key[level + mismatch], RRef::FromLeaf(new_leaf));
+      RAddChild(branch, probe->key[level + mismatch], RRef::FromNode(node));
+      // Install the branch, THEN advance the node's (level, prefix) in one
+      // atomic store — readers anchored on either value stay consistent.
+      if (parent != nullptr) {
+        StoreSlot(*RFindSlot(parent, parent_key), RRef::FromNode(branch));
+      } else {
+        root_.store(RRef::FromNode(branch).raw(), std::memory_order_release);
+      }
+      node->set_prefix(MakePrefixFromKey(
+          static_cast<std::uint16_t>(level + mismatch + 1),
+          static_cast<std::uint16_t>(prefix_len - mismatch - 1), probe->key,
+          level + mismatch + 1));
+      if (tracer) {
+        if (parent) {
+          tracer->SyncPoint(reinterpret_cast<std::uintptr_t>(parent), true);
+        }
+        tracer->SyncPoint(reinterpret_cast<std::uintptr_t>(node), true);
+      }
+      node->lock.WriteUnlock(stats);
+      if (parent) parent->lock.WriteUnlock(stats);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::kInserted;
+    }
+
+    const std::size_t next_depth = level + prefix_len;
+    const std::uint8_t node_key = key[next_depth];
+    const RRef next = RFindChild(node, node_key);
+
+    if (next.IsNull()) {
+      node->lock.WriteLockOrRestart(rs, stats);
+      if (rs) return Outcome::kRestart;
+      if (node->obsolete.load(std::memory_order_acquire) ||
+          node->prefix().word != pp.word) {
+        node->lock.WriteUnlock(stats);
+        return Outcome::kRestart;
+      }
+      if (RFindSlot(node, node_key) != nullptr) {
+        // The child appeared while we were locking; redo this level.
+        node->lock.WriteUnlock(stats);
+        continue;
+      }
+      if (RIsFull(node)) {
+        // Replace the node with a grown copy: try-lock the parent, swap
+        // the slot, freeze and retire the old node.
+        if (parent != nullptr) {
+          parent->lock.TryWriteLockOrRestart(rs, stats);
+          if (rs) {
+            node->lock.WriteUnlock(stats);
+            return Outcome::kRestart;
+          }
+          if (parent->obsolete.load(std::memory_order_acquire) ||
+              RFindSlot(parent, parent_key) == nullptr ||
+              !(LoadSlot(*RFindSlot(parent, parent_key)) ==
+                RRef::FromNode(node))) {
+            parent->lock.WriteUnlock(stats);
+            node->lock.WriteUnlock(stats);
+            return Outcome::kRestart;
+          }
+        }
+        RNode* bigger = RGrown(node);
+        RAddChild(bigger, node_key, RRef::FromLeaf(new RLeaf(key, value)));
+        if (parent != nullptr) {
+          StoreSlot(*RFindSlot(parent, parent_key), RRef::FromNode(bigger));
+          parent->lock.WriteUnlock(stats);
+        } else {
+          root_.store(RRef::FromNode(bigger).raw(),
+                      std::memory_order_release);
+        }
+        node->obsolete.store(true, std::memory_order_release);
+        if (tracer) {
+          if (parent) {
+            tracer->SyncPoint(reinterpret_cast<std::uintptr_t>(parent), true);
+          }
+          tracer->SyncPoint(reinterpret_cast<std::uintptr_t>(node), true);
+        }
+        node->lock.WriteUnlock(stats);
+        epochs_->Retire(tid, [node] { RDeleteNode(node); });
+      } else {
+        RAddChild(node, node_key, RRef::FromLeaf(new RLeaf(key, value)));
+        if (tracer) {
+          tracer->SyncPoint(reinterpret_cast<std::uintptr_t>(node), true);
+        }
+        node->lock.WriteUnlock(stats);
+      }
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::kInserted;
+    }
+
+    if (next.IsLeaf()) {
+      RLeaf* leaf = next.AsLeaf();
+      if (tracer) {
+        tracer->VisitLeafRaw(reinterpret_cast<std::uintptr_t>(leaf),
+                             leaf->key.size());
+      }
+      node->lock.WriteLockOrRestart(rs, stats);
+      if (rs) return Outcome::kRestart;
+      RSlot* slot = RFindSlot(node, node_key);
+      if (node->obsolete.load(std::memory_order_acquire) || slot == nullptr ||
+          !(LoadSlot(*slot) == next)) {
+        node->lock.WriteUnlock(stats);
+        return Outcome::kRestart;
+      }
+      if (KeysEqual(leaf->key, key)) {
+        // ROWEX write exclusion: the update happens under the node lock.
+        if (tracer) {
+          tracer->SyncPoint(reinterpret_cast<std::uintptr_t>(node), true);
+        }
+        leaf->value.store(value, std::memory_order_release);
+        node->lock.WriteUnlock(stats);
+        return Outcome::kUpdated;
+      }
+      // Expand the leaf into an N4 holding the two keys' common path.
+      const KeyView leaf_key{leaf->key};
+      const std::size_t lcp = CommonPrefixLength(
+          leaf_key.subspan(next_depth + 1), key.subspan(next_depth + 1));
+      assert(next_depth + 1 + lcp < key.size() &&
+             next_depth + 1 + lcp < leaf_key.size());
+      auto* branch = new RNode4;
+      branch->set_prefix(MakePrefixFromKey(
+          static_cast<std::uint16_t>(next_depth + 1),
+          static_cast<std::uint16_t>(lcp), key, next_depth + 1));
+      RAddChild(branch, key[next_depth + 1 + lcp],
+                RRef::FromLeaf(new RLeaf(key, value)));
+      RAddChild(branch, leaf_key[next_depth + 1 + lcp], next);
+      StoreSlot(*slot, RRef::FromNode(branch));
+      if (tracer) {
+        tracer->SyncPoint(reinterpret_cast<std::uintptr_t>(node), true);
+      }
+      node->lock.WriteUnlock(stats);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::kInserted;
+    }
+
+    parent = node;
+    parent_key = node_key;
+    node = next.AsNode();
+  }
+}
+
+std::size_t RowexTree::ScanTraced(
+    KeyView start, std::size_t limit, OpTracer* tracer,
+    const std::function<void(KeyView, art::Value)>& on_entry) const {
+  std::size_t emitted = 0;
+  const std::function<bool(RRef, bool)> walk = [&](RRef ref,
+                                                   bool lo_edge) -> bool {
+    if (emitted >= limit) return false;
+    if (ref.IsLeaf()) {
+      RLeaf* leaf = ref.AsLeaf();
+      if (tracer) {
+        tracer->VisitLeafRaw(reinterpret_cast<std::uintptr_t>(leaf),
+                             leaf->key.size());
+      }
+      if (CompareKeys(leaf->key, start) >= 0) {
+        ++emitted;
+        if (on_entry) on_entry(leaf->key, leaf->value.load());
+      }
+      return emitted < limit;
+    }
+    const RNode* node = ref.AsNode();
+    const PackedPrefix pp = node->prefix();
+    const std::size_t level = pp.level();
+    const std::size_t prefix_len = pp.prefix_len();
+    const std::uint16_t count = node->count.load(std::memory_order_relaxed);
+    if (tracer) {
+      tracer->VisitInternalRaw(reinterpret_cast<std::uintptr_t>(node),
+                               pp.stored(), count, false);
+    }
+    if (lo_edge && prefix_len > 0) {
+      const RLeaf* probe = nullptr;
+      for (std::size_t i = 0; i < prefix_len && lo_edge; ++i) {
+        const std::size_t pos = level + i;
+        std::uint8_t p;
+        if (i < pp.stored()) {
+          p = pp.byte(static_cast<unsigned>(i));
+        } else {
+          if (probe == nullptr) probe = RAnyLeaf(ref);
+          if (probe == nullptr) return true;
+          p = probe->key[pos];
+        }
+        if (pos >= start.size() || p > start[pos]) {
+          lo_edge = false;
+        } else if (p < start[pos]) {
+          return true;  // subtree entirely below the start key
+        }
+      }
+    }
+    // ROWEX nodes keep N4/N16 unsorted: order the children here.
+    std::vector<std::pair<std::uint8_t, RRef>> children;
+    children.reserve(count);
+    REnumerate(node, [&children](std::uint8_t b, RRef child) {
+      children.emplace_back(b, child);
+      return true;
+    });
+    std::sort(children.begin(), children.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::size_t child_depth = level + prefix_len;
+    for (const auto& [b, child] : children) {
+      bool child_lo = false;
+      if (lo_edge && child_depth < start.size()) {
+        if (b < start[child_depth]) continue;
+        child_lo = (b == start[child_depth]);
+      }
+      if (!walk(child, child_lo)) return false;
+    }
+    return true;
+  };
+  const RRef r = RRef::FromRaw(root_.load(std::memory_order_acquire));
+  if (!r.IsNull()) walk(r, true);
+  return emitted;
+}
+
+rowex::RLeaf* RowexTree::FindLeafTraced(
+    KeyView key, OpTracer* tracer,
+    const rowex::RNode** last_internal) const {
+  RRef ref = RRef::FromRaw(root_.load(std::memory_order_acquire));
+  while (!ref.IsNull()) {
+    if (ref.IsLeaf()) {
+      RLeaf* leaf = ref.AsLeaf();
+      if (tracer) {
+        tracer->VisitLeafRaw(reinterpret_cast<std::uintptr_t>(leaf),
+                             leaf->key.size());
+      }
+      return KeysEqual(leaf->key, key) ? leaf : nullptr;
+    }
+    const RNode* node = ref.AsNode();
+    if (last_internal) *last_internal = node;
+    const PackedPrefix pp = node->prefix();
+    const std::size_t level = pp.level();
+    const std::size_t prefix_len = pp.prefix_len();
+    if (tracer) {
+      tracer->VisitInternalRaw(reinterpret_cast<std::uintptr_t>(node),
+                               pp.stored(), RApproxScan(node), false);
+    }
+    if (key.size() <= level + prefix_len) return nullptr;
+    const unsigned stored = pp.stored();
+    for (unsigned i = 0; i < stored; ++i) {
+      if (pp.byte(i) != key[level + i]) return nullptr;
+    }
+    ref = RFindChild(node, key[level + prefix_len]);
+  }
+  return nullptr;
+}
+
+}  // namespace dcart::baselines

@@ -1,0 +1,18 @@
+#include "common/bytes.h"
+
+namespace dcart {
+
+std::string ToHex(KeyView key, std::size_t max_bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x";
+  const std::size_t n = std::min(key.size(), max_bytes);
+  out.reserve(2 + 2 * n + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[key[i] >> 4]);
+    out.push_back(kDigits[key[i] & 0xf]);
+  }
+  if (key.size() > max_bytes) out += "..";
+  return out;
+}
+
+}  // namespace dcart

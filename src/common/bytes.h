@@ -1,0 +1,55 @@
+// Byte-string keys and small helpers shared across the whole project.
+//
+// ART is a trie over binary-comparable byte strings.  Every engine in this
+// repository (the core tree, the concurrent baselines, the DCART simulator)
+// operates on `Key`, a plain byte vector.  Encoders that turn integers /
+// strings / IPs into binary-comparable keys live in key_codec.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcart {
+
+using Key = std::vector<std::uint8_t>;
+using KeyView = std::span<const std::uint8_t>;
+
+/// Length of the longest common prefix of two byte strings.
+inline std::size_t CommonPrefixLength(KeyView a, KeyView b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+/// Three-way comparison with byte-wise (memcmp) semantics.
+inline int CompareKeys(KeyView a, KeyView b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+inline bool KeysEqual(KeyView a, KeyView b) {
+  return a.size() == b.size() && CommonPrefixLength(a, b) == a.size();
+}
+
+/// Hex rendering for diagnostics ("0x0008a4...").
+std::string ToHex(KeyView key, std::size_t max_bytes = 16);
+
+/// FNV-1a over the key bytes; used by shortcut tables and bucket hashing.
+inline std::uint64_t HashKey(KeyView key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : key) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace dcart

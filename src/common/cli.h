@@ -1,0 +1,38 @@
+// Tiny command-line flag parser shared by the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and bare boolean `--name`.
+// Unrecognized flags are reported so experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcart {
+
+class CliFlags {
+ public:
+  /// Parse argv.  On malformed input, prints to stderr and `ok()` is false.
+  CliFlags(int argc, char** argv);
+
+  bool ok() const { return ok_; }
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  std::int64_t GetInt(const std::string& name,
+                      std::int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  bool ok_ = true;
+};
+
+}  // namespace dcart

@@ -1,0 +1,98 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace dcart {
+
+namespace {
+// Bucketing scheme: values 0..31 map linearly to indices 0..31; larger values
+// fall into 16 linear sub-buckets per power-of-two octave, giving <= 1/16
+// relative quantile error.  64 possible octaves bound the table size.
+constexpr int kLinearLimit = 32;
+constexpr int kSubPerOctave = 16;
+constexpr std::size_t kMaxBuckets = kLinearLimit + 64 * kSubPerOctave;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kMaxBuckets, 0) {}
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
+  if (value < kLinearLimit) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);  // msb >= 5 here
+  const auto sub =
+      static_cast<std::size_t>(value >> (msb - 4));  // in [16, 32)
+  return static_cast<std::size_t>(kLinearLimit) +
+         static_cast<std::size_t>(msb - 5) * kSubPerOctave +
+         (sub - kSubPerOctave);
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(std::size_t index) {
+  if (index < kLinearLimit) return static_cast<std::uint64_t>(index);
+  const std::size_t octave = (index - kLinearLimit) / kSubPerOctave;
+  const std::size_t sub =
+      (index - kLinearLimit) % kSubPerOctave + kSubPerOctave;
+  const int msb = static_cast<int>(octave) + 5;
+  const int shift = msb - 4;
+  return (static_cast<std::uint64_t>(sub) << shift) +
+         ((std::uint64_t{1} << shift) - 1);
+}
+
+void LatencyHistogram::Record(std::uint64_t value) { RecordMany(value, 1); }
+
+void LatencyHistogram::RecordMany(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  std::size_t idx = BucketIndex(value);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  buckets_[idx] += count;
+  count_ += count;
+  sum_ += value * count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample (1-based), nearest-rank definition.
+  auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.5);
+  target = std::clamp<std::uint64_t>(target, 1, count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::string LatencyHistogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << Mean() << " p50=" << Quantile(0.5)
+     << " p99=" << Quantile(0.99) << " max=" << Max();
+  return os.str();
+}
+
+}  // namespace dcart

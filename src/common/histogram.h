@@ -1,0 +1,54 @@
+// Log-bucketed latency histogram with percentile queries (P50/P90/P99/...).
+//
+// Used by the throughput-latency experiments (Fig. 10).  Buckets grow
+// geometrically (HdrHistogram-style: linear sub-buckets inside power-of-two
+// ranges) so the relative quantile error stays below ~1.6 % across the full
+// nanosecond..second range while the footprint stays a few KiB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcart {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Record one sample (any unit; callers use nanoseconds by convention).
+  void Record(std::uint64_t value);
+
+  /// Record `count` identical samples.
+  void RecordMany(std::uint64_t value, std::uint64_t count);
+
+  /// Merge another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+  /// Value at quantile q in [0, 1]; returns 0 for an empty histogram.
+  std::uint64_t Quantile(double q) const;
+
+  std::uint64_t Percentile(double p) const { return Quantile(p / 100.0); }
+
+  std::uint64_t Count() const { return count_; }
+  std::uint64_t Min() const { return count_ ? min_ : 0; }
+  std::uint64_t Max() const { return max_; }
+  double Mean() const;
+
+  void Reset();
+
+  /// One-line summary: "n=.. mean=.. p50=.. p99=.. max=..".
+  std::string Summary() const;
+
+ private:
+  static std::size_t BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketUpperBound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dcart

@@ -1,0 +1,82 @@
+#include "common/key_codec.h"
+
+#include <charconv>
+
+namespace dcart {
+
+Key EncodeU64(std::uint64_t value) {
+  Key key(8);
+  for (int i = 7; i >= 0; --i) {
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+  }
+  return key;
+}
+
+std::uint64_t DecodeU64(KeyView key) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i) value = (value << 8) | key[i];
+  return value;
+}
+
+Key EncodeU32(std::uint32_t value) {
+  Key key(4);
+  for (int i = 3; i >= 0; --i) {
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+  }
+  return key;
+}
+
+std::uint32_t DecodeU32(KeyView key) {
+  std::uint32_t value = 0;
+  for (std::size_t i = 0; i < 4; ++i) value = (value << 8) | key[i];
+  return value;
+}
+
+Key EncodeString(std::string_view s) {
+  Key key;
+  key.reserve(s.size() + 1);
+  for (char c : s) key.push_back(static_cast<std::uint8_t>(c));
+  key.push_back(0);
+  return key;
+}
+
+std::string DecodeString(KeyView key) {
+  std::string s;
+  const std::size_t n = key.empty() ? 0 : key.size() - 1;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(static_cast<char>(key[i]));
+  return s;
+}
+
+bool ParseIPv4(std::string_view text, Key& out) {
+  Key key(4);
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255) return false;
+    key[static_cast<std::size_t>(octet)] = static_cast<std::uint8_t>(value);
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return false;
+      ++p;
+    }
+  }
+  if (p != end) return false;
+  out = std::move(key);
+  return true;
+}
+
+std::string FormatIPv4(KeyView key) {
+  std::string s;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i) s.push_back('.');
+    s += std::to_string(static_cast<unsigned>(key[i]));
+  }
+  return s;
+}
+
+}  // namespace dcart

@@ -1,0 +1,42 @@
+// Binary-comparable key encoders.
+//
+// ART requires that (a) keys compare byte-wise in the same order as their
+// source domain and (b) no stored key is a strict prefix of another stored
+// key.  Integer keys satisfy (b) by fixed width; string-like keys are
+// 0-terminated, which is safe because the generators never emit interior
+// NUL bytes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace dcart {
+
+/// Big-endian encoding of an unsigned 64-bit integer (order preserving).
+Key EncodeU64(std::uint64_t value);
+
+/// Inverse of EncodeU64.  Precondition: key.size() == 8.
+std::uint64_t DecodeU64(KeyView key);
+
+/// Big-endian encoding of an unsigned 32-bit integer (order preserving).
+Key EncodeU32(std::uint32_t value);
+
+/// Inverse of EncodeU32.  Precondition: key.size() == 4.
+std::uint32_t DecodeU32(KeyView key);
+
+/// NUL-terminated string key.  Precondition: `s` contains no '\0'.
+Key EncodeString(std::string_view s);
+
+/// Inverse of EncodeString (drops the terminator).
+std::string DecodeString(KeyView key);
+
+/// Dotted-quad IPv4 text ("1.2.3.4") to its order-preserving 4-byte form.
+/// Returns false on malformed input.
+bool ParseIPv4(std::string_view text, Key& out);
+
+/// 4-byte IPv4 key back to dotted-quad text.
+std::string FormatIPv4(KeyView key);
+
+}  // namespace dcart

@@ -1,0 +1,100 @@
+// Deterministic pseudo-random utilities used by workload generators and
+// tests.  All generators take explicit seeds so every experiment is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dcart {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).  Precondition: bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Zipfian sampler over {0, .., n-1} with exponent `theta` (default 0.99,
+/// the YCSB convention).  Uses the Gray/Jim-Gray rejection-free method with
+/// precomputed constants; O(1) per sample after O(n) setup is avoided by the
+/// closed-form approximation, so it scales to hundreds of millions of items.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Rank 0 is the most popular item.
+  std::uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta) {
+    // Exact for small n; for large n use the Euler-Maclaurin tail estimate so
+    // setup stays O(1e6) even for billions of items.
+    constexpr std::uint64_t kExactLimit = 1u << 20;
+    double sum = 0.0;
+    const std::uint64_t exact = std::min(n, kExactLimit);
+    for (std::uint64_t i = 1; i <= exact; ++i) {
+      sum += std::pow(1.0 / static_cast<double>(i), theta);
+    }
+    if (n > exact) {
+      // Integral of x^-theta from `exact` to `n`.
+      sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(exact), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  SplitMix64 rng_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+/// Fisher-Yates shuffle driven by SplitMix64 (deterministic given the seed).
+template <typename T>
+void Shuffle(std::vector<T>& items, SplitMix64& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.NextBounded(i));
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace dcart

@@ -1,0 +1,47 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace dcart {
+
+void OpStats::Merge(const OpStats& other) {
+  operations += other.operations;
+  partial_key_matches += other.partial_key_matches;
+  nodes_visited += other.nodes_visited;
+  leaf_accesses += other.leaf_accesses;
+  lock_acquisitions += other.lock_acquisitions;
+  lock_contentions += other.lock_contentions;
+  atomic_ops += other.atomic_ops;
+  offchip_accesses += other.offchip_accesses;
+  offchip_bytes += other.offchip_bytes;
+  useful_bytes += other.useful_bytes;
+  onchip_hits += other.onchip_hits;
+  scan_entries += other.scan_entries;
+  combined_ops += other.combined_ops;
+  shortcut_hits += other.shortcut_hits;
+  shortcut_misses += other.shortcut_misses;
+  shortcut_invalidations += other.shortcut_invalidations;
+}
+
+double OpStats::CachelineUtilization() const {
+  if (offchip_bytes == 0) return 0.0;
+  return static_cast<double>(useful_bytes) / static_cast<double>(offchip_bytes);
+}
+
+double OpStats::RedundantRatio(std::uint64_t visits, std::uint64_t distinct) {
+  if (visits == 0) return 0.0;
+  const std::uint64_t redundant = visits > distinct ? visits - distinct : 0;
+  return static_cast<double>(redundant) / static_cast<double>(visits);
+}
+
+std::string OpStats::ToString() const {
+  std::ostringstream os;
+  os << "ops=" << operations << " pkm=" << partial_key_matches
+     << " nodes=" << nodes_visited << " locks=" << lock_acquisitions
+     << " contentions=" << lock_contentions << " atomics=" << atomic_ops
+     << " offchip=" << offchip_accesses << " shortcut_hits=" << shortcut_hits
+     << " scan_entries=" << scan_entries;
+  return os.str();
+}
+
+}  // namespace dcart

@@ -1,0 +1,55 @@
+// Event counters shared by every engine in the project.
+//
+// The paper's evaluation is driven almost entirely by event counts: partial
+// key matches (Fig. 8), lock contentions (Fig. 7), redundant node traversals
+// and cacheline utilization (Fig. 2), off-chip traffic (energy model).  Every
+// engine fills an `OpStats`; the timing/energy models in simhw convert the
+// counts into seconds and joules per platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcart {
+
+struct OpStats {
+  // -- Tree traversal ------------------------------------------------------
+  std::uint64_t operations = 0;          // completed read/write operations
+  std::uint64_t partial_key_matches = 0; // one per internal-node key step
+  std::uint64_t nodes_visited = 0;       // internal + leaf node touches
+  std::uint64_t leaf_accesses = 0;
+
+  // -- Synchronization -----------------------------------------------------
+  std::uint64_t lock_acquisitions = 0;   // successful lock / CAS takeovers
+  std::uint64_t lock_contentions = 0;    // waits, failed CAS, OLC restarts
+  std::uint64_t atomic_ops = 0;          // every atomic RMW issued
+
+  // -- Memory traffic ------------------------------------------------------
+  std::uint64_t offchip_accesses = 0;    // cacheline / HBM-burst fetches
+  std::uint64_t offchip_bytes = 0;       // bytes moved from off-chip memory
+  std::uint64_t useful_bytes = 0;        // bytes of those actually consumed
+  std::uint64_t onchip_hits = 0;         // buffer / cache hits
+
+  // -- Range scans (extension experiments) ----------------------------------
+  std::uint64_t scan_entries = 0;       // entries returned by kScan ops
+
+  // -- CTT-model specifics -------------------------------------------------
+  std::uint64_t combined_ops = 0;        // ops that shared a traversal
+  std::uint64_t shortcut_hits = 0;
+  std::uint64_t shortcut_misses = 0;
+  std::uint64_t shortcut_invalidations = 0;
+
+  void Merge(const OpStats& other);
+
+  /// Fraction of fetched bytes that were useful (Fig. 2(c)); 0 if no traffic.
+  double CachelineUtilization() const;
+
+  /// Redundant traversal ratio: visits that re-walked an already-walked node
+  /// for the same batch of operations (Fig. 2(b)).  `distinct` is the number
+  /// of distinct nodes that had to be visited at least once.
+  static double RedundantRatio(std::uint64_t visits, std::uint64_t distinct);
+
+  std::string ToString() const;
+};
+
+}  // namespace dcart

@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool used by the concurrent engines.
+//
+// Engines submit closed-over tasks and wait for a whole batch with
+// `RunParallel`, which blocks until every worker finishes its share.  The
+// pool is deliberately simple (mutex + condvar queue): the experiments
+// measure the engines' own synchronization behaviour, so the pool must not
+// add clever lock-free machinery of its own that would muddy the counters.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dcart {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one task.  Pair with WaitIdle() to join a batch.
+  void Submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  /// Run `task(worker_index)` once on each of `parallelism` workers and wait.
+  /// `parallelism` is clamped to the pool size.
+  void RunParallel(std::size_t parallelism,
+                   const std::function<void(std::size_t)>& task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dcart

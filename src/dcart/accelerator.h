@@ -1,0 +1,62 @@
+// DCART accelerator top level (paper Fig. 4/5/6).
+//
+// Per batch: the PCU combines the arriving operations into prefix-defined
+// buckets (one pipelined op per cycle, streaming through the Scan/Bucket
+// buffers); the Dispatcher hands each bucket to one SOU (operations on the
+// same node are therefore serialized onto a single unit — no locks); the 16
+// SOUs drain their buckets in parallel against the shared value-aware
+// Tree_buffer, Shortcut_buffer, and the 32-channel HBM model.  With
+// `overlap_pcu_sou` the PCU of batch i+1 runs while the SOUs process batch i
+// (Fig. 6), hiding the combining cost.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "art/tree.h"
+#include "baselines/engine.h"
+#include "dcart/config.h"
+#include "dcart/sou.h"
+#include "simhw/hbm_model.h"
+#include "simhw/node_buffer.h"
+#include "simhw/timing_model.h"
+
+namespace dcart::accel {
+
+class DcartEngine : public IndexEngine {
+ public:
+  explicit DcartEngine(DcartConfig config = {}, simhw::FpgaModel model = {});
+
+  std::string name() const override { return "DCART"; }
+  void Load(const std::vector<std::pair<Key, art::Value>>& items) override;
+  ExecutionResult Run(std::span<const Operation> ops,
+                      const RunConfig& config) override;
+  std::optional<art::Value> Lookup(KeyView key) const override;
+
+  const art::Tree& tree() const { return tree_; }
+  const DcartConfig& config() const { return config_; }
+  const simhw::FpgaModel& model() const { return model_; }
+
+  /// Buffer and pipeline statistics of the last Run (ablation bench and
+  /// model diagnostics).
+  struct BufferReport {
+    double tree_buffer_hit_rate = 0.0;
+    double shortcut_buffer_hit_rate = 0.0;
+    std::uint64_t tree_buffer_evictions = 0;
+    std::uint64_t tree_buffer_bypasses = 0;
+    double total_pcu_cycles = 0.0;
+    double total_sou_cycles = 0.0;     // sum of per-batch slowest-SOU times
+    double mean_sou_imbalance = 0.0;   // slowest SOU / average SOU per batch
+    SouCycleBreakdown sou_breakdown;   // aggregate over all SOUs
+  };
+  const BufferReport& last_buffer_report() const { return buffer_report_; }
+
+ private:
+  DcartConfig config_;
+  simhw::FpgaModel model_;
+  art::Tree tree_;
+  std::unordered_map<std::uint64_t, ShortcutEntry> shortcut_table_;
+  BufferReport buffer_report_;
+};
+
+}  // namespace dcart::accel

@@ -1,0 +1,30 @@
+// Table I reporting: the accelerator's configuration and an FPGA resource
+// estimate for the Alveo U280 (XCU280: 1.3 M LUTs, 2.6 M registers, 9 MB
+// BRAM/URAM, 8 GB HBM).
+#pragma once
+
+#include <string>
+
+#include "dcart/config.h"
+#include "simhw/timing_model.h"
+
+namespace dcart::accel {
+
+struct ResourceEstimate {
+  std::uint64_t luts = 0;
+  std::uint64_t registers = 0;
+  std::uint64_t bram_bytes = 0;
+  double lut_utilization = 0.0;   // of the XCU280's 1.3 M
+  double reg_utilization = 0.0;   // of 2.6 M
+  double bram_utilization = 0.0;  // of 9 MB on-chip memory
+};
+
+/// Per-unit area model: PCU / Dispatcher / SOU logic plus the four buffers.
+ResourceEstimate EstimateResources(const DcartConfig& config,
+                                   const simhw::FpgaModel& model);
+
+/// Render Table I (configuration + resources) as printable text.
+std::string RenderTableOne(const DcartConfig& config,
+                           const simhw::FpgaModel& model);
+
+}  // namespace dcart::accel

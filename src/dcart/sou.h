@@ -1,0 +1,99 @@
+// Shortcut-based Operating Unit (SOU) — Section III-C of the paper.
+//
+// A SOU drains one bucket of combined operations.  Its four pipeline stages
+// are modeled per key-group:
+//   Index_Shortcut    — probe the Shortcut_Table (through the on-chip
+//                       Shortcut_buffer; off-chip HBM on a buffer miss);
+//   Traverse_Tree     — on a shortcut hit, fetch the target leaf directly;
+//                       otherwise walk the ART top-down, each node served by
+//                       the Tree_buffer (value-aware) or HBM;
+//   Trigger_Operation — apply every coalesced operation of the group on the
+//                       target together (single exclusive acquisition);
+//   Generate_Shortcut — install/update the group's shortcut entry.
+//
+// The SOU keeps a local cycle clock; every HBM access is scheduled on the
+// shared channel model, so SOUs contend for memory bandwidth exactly as the
+// hardware units would.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "art/tree.h"
+#include "common/stats.h"
+#include "dcart/config.h"
+#include "simhw/conflict_model.h"
+#include "simhw/hbm_model.h"
+#include "simhw/node_buffer.h"
+#include "simhw/timing_model.h"
+#include "workload/ops.h"
+
+namespace dcart::accel {
+
+/// Off-chip Shortcut_Table entry: <Key_ID, target node, parent node>.
+struct ShortcutEntry {
+  art::Leaf* leaf = nullptr;
+  std::uintptr_t parent = 0;
+};
+
+/// Where the SOUs' cycles went (model diagnostics / ablation reporting).
+struct SouCycleBreakdown {
+  double shortcut_probe = 0;
+  double buffer_hits = 0;
+  double hbm_stalls = 0;   // dependent fetches that missed the Tree_buffer
+  double trigger = 0;
+  double matching = 0;     // partial-key comparisons
+  double contention = 0;
+};
+
+/// State shared by all SOUs (owned by the accelerator top).
+struct SouShared {
+  art::Tree* tree = nullptr;
+  simhw::NodeBuffer* tree_buffer = nullptr;
+  simhw::NodeBuffer* shortcut_buffer = nullptr;
+  simhw::HbmModel* hbm = nullptr;
+  simhw::ConflictModel* conflicts = nullptr;
+  std::unordered_map<std::uint64_t, ShortcutEntry>* shortcut_table = nullptr;
+  // Accumulated operation count per tree node: the value-aware buffer's
+  // priority.  The paper approximates a node's value by its bucket's
+  // operation count; accumulating the coalesced group sizes a node actually
+  // serves is the same quantity resolved per node.
+  std::unordered_map<std::uintptr_t, std::uint64_t>* node_values = nullptr;
+  const simhw::FpgaModel* model = nullptr;
+  const DcartConfig* config = nullptr;
+  OpStats* stats = nullptr;
+  std::uint64_t* reads_hit = nullptr;
+  SouCycleBreakdown* breakdown = nullptr;
+};
+
+class Sou {
+ public:
+  explicit Sou(SouShared shared) : s_(shared) {}
+
+  /// Process one bucket (operation indices into `ops`, arrival order).
+  /// Returns the SOU-local busy time in cycles for this bucket.
+  double ProcessBucket(std::span<const Operation> ops,
+                       const std::vector<std::uint32_t>& bucket);
+
+ private:
+  friend class SouTreeObserver;
+
+  /// Fetch a tree object (node or leaf) through Tree_buffer / HBM.
+  void AccessTreeObject(std::uintptr_t addr, std::size_t bytes,
+                        bool is_leaf);
+  /// Probe the shortcut structures for `key_hash`.
+  void AccessShortcutSlot(std::uint64_t key_hash, bool is_write);
+
+  SouShared s_;
+  double local_cycles_ = 0.0;
+  // Value-aware buffer priority of the nodes being touched.  The paper
+  // approximates a node's value by the operation count of its bucket, known
+  // a priori once the PCU finishes coalescing; the per-node accumulated
+  // count refines ties inside one bucket.
+  std::uint64_t group_value_ = 0;   // coalesced ops served by this fetch
+  std::uint64_t bucket_value_ = 0;  // ops in the bucket being drained
+};
+
+}  // namespace dcart::accel

@@ -1,0 +1,58 @@
+// DCART-C: the software-only implementation of the paper's data-centric
+// Combine-Traverse-Trigger (CTT) processing model, running on the CPU.
+//
+// Per batch of operations:
+//   Combine  — scan the batch, take the first `prefix_bits` of each key and
+//              append the operation to one of 16 bucket tables, so all
+//              operations that can share tree nodes land in one bucket.
+//   Traverse — per bucket (buckets are processed by disjoint workers),
+//              group operations by key; each distinct key needs ONE
+//              traversal, served from the persistent shortcut table when the
+//              key was traversed before.
+//   Trigger  — apply the group's operations together on the target leaf
+//              under a single (conceptual) lock acquisition.
+//
+// The paper's own finding (Fig. 9) is that DCART-C only *slightly* beats the
+// baselines: the combining pass, the shortcut hash maintenance, and the load
+// imbalance across buckets eat most of the traversal savings on a CPU.  The
+// cost model reproduces exactly those overheads: per-op combine cycles,
+// per-group hash-probe memory traffic, and makespan = max(hottest bucket,
+// even split) over the worker pool.
+#pragma once
+
+#include <unordered_map>
+
+#include "art/tree.h"
+#include "baselines/engine.h"
+#include "simhw/timing_model.h"
+
+namespace dcart::dcartc {
+
+struct DcartCConfig {
+  std::size_t num_buckets = 16;  // paper: sixteen Bucket_Tables
+  unsigned prefix_bits = 8;      // paper default: first 8 bits of the key
+  bool use_shortcuts = true;     // ablation knob
+};
+
+class DcartCEngine : public IndexEngine {
+ public:
+  explicit DcartCEngine(DcartCConfig config = {},
+                        simhw::CpuModel model = {});
+
+  std::string name() const override { return "DCART-C"; }
+  void Load(const std::vector<std::pair<Key, art::Value>>& items) override;
+  ExecutionResult Run(std::span<const Operation> ops,
+                      const RunConfig& config) override;
+  std::optional<art::Value> Lookup(KeyView key) const override;
+
+  const art::Tree& tree() const { return tree_; }
+
+ private:
+  DcartCConfig config_;
+  simhw::CpuModel model_;
+  art::Tree tree_;
+  // Persistent shortcut table: key hash -> leaf (validated by key compare).
+  std::unordered_map<std::uint64_t, art::Leaf*> shortcuts_;
+};
+
+}  // namespace dcart::dcartc

@@ -1,0 +1,55 @@
+#include "simhw/cache_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace dcart::simhw {
+
+CacheModel::CacheModel(std::size_t capacity_bytes, std::size_t line_bytes,
+                       std::size_t associativity)
+    : line_bytes_(line_bytes), associativity_(associativity) {
+  assert(std::has_single_bit(line_bytes));
+  num_sets_ = std::max<std::size_t>(1, capacity_bytes /
+                                           (line_bytes * associativity));
+  // Round sets down to a power of two for cheap indexing.
+  num_sets_ = std::bit_floor(num_sets_);
+  sets_.resize(num_sets_);
+  for (auto& set : sets_) set.reserve(associativity_);
+}
+
+bool CacheModel::TouchLine(std::uint64_t line_addr) {
+  auto& set = sets_[line_addr & (num_sets_ - 1)];
+  const auto it = std::find(set.begin(), set.end(), line_addr);
+  if (it != set.end()) {
+    // Move to front (MRU).
+    std::rotate(set.begin(), it, it + 1);
+    ++hits_;
+    return true;
+  }
+  if (set.size() >= associativity_) set.pop_back();
+  set.insert(set.begin(), line_addr);
+  ++misses_;
+  return false;
+}
+
+CacheModel::AccessResult CacheModel::Access(std::uintptr_t addr,
+                                            std::size_t bytes) {
+  AccessResult result;
+  if (bytes == 0) bytes = 1;
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + bytes - 1) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    ++result.lines;
+    if (!TouchLine(line)) ++result.misses;
+  }
+  return result;
+}
+
+void CacheModel::Reset() {
+  for (auto& set : sets_) set.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace dcart::simhw

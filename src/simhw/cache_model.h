@@ -1,0 +1,48 @@
+// Set-associative LRU cache simulator.
+//
+// Feeds the CPU timing model: every node access of a CPU engine is replayed
+// through a modeled last-level cache to split it into LLC hits and DRAM
+// misses, and to account fetched-vs-useful bytes (paper Fig. 2(c)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcart::simhw {
+
+class CacheModel {
+ public:
+  CacheModel(std::size_t capacity_bytes, std::size_t line_bytes,
+             std::size_t associativity);
+
+  struct AccessResult {
+    std::uint32_t lines = 0;   // cachelines the access spans
+    std::uint32_t misses = 0;  // of those, how many missed
+  };
+
+  /// Touch [addr, addr+bytes); classic LRU replacement per set.
+  AccessResult Access(std::uintptr_t addr, std::size_t bytes);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+
+  void Reset();
+
+ private:
+  bool TouchLine(std::uint64_t line_addr);
+
+  std::size_t line_bytes_;
+  std::size_t associativity_;
+  std::size_t num_sets_;
+  // sets_[set] holds up to `associativity_` tags in LRU order (front = MRU).
+  std::vector<std::vector<std::uint64_t>> sets_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dcart::simhw

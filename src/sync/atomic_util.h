@@ -1,0 +1,25 @@
+// Relaxed atomic accessors over plain struct fields (C++20 std::atomic_ref).
+//
+// Concurrent-tree writers mutate node fields while holding the node's
+// version lock; optimistic readers load the same fields concurrently and
+// re-validate the version afterwards.  Routing those loads/stores through
+// atomic_ref keeps the scheme free of formal data races without changing
+// the node layout.
+#pragma once
+
+#include <atomic>
+
+namespace dcart::sync {
+
+template <typename T>
+T RelaxedLoad(const T& location) {
+  return std::atomic_ref<T>(const_cast<T&>(location))
+      .load(std::memory_order_relaxed);
+}
+
+template <typename T>
+void RelaxedStore(T& location, T value) {
+  std::atomic_ref<T>(location).store(value, std::memory_order_relaxed);
+}
+
+}  // namespace dcart::sync

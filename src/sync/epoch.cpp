@@ -1,0 +1,70 @@
+#include "sync/epoch.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcart::sync {
+
+namespace {
+// Advance the global epoch / sweep retired lists every N operations so the
+// common path stays two atomic stores.
+constexpr std::uint64_t kScanInterval = 64;
+}  // namespace
+
+EpochManager::EpochManager(std::size_t max_threads) : slots_(max_threads) {}
+
+EpochManager::~EpochManager() { DrainAll(); }
+
+void EpochManager::Enter(std::size_t tid) {
+  assert(tid < slots_.size());
+  ThreadSlot& slot = slots_[tid];
+  slot.local_epoch.store(global_epoch_.load(std::memory_order_acquire),
+                         std::memory_order_release);
+}
+
+void EpochManager::Exit(std::size_t tid) {
+  ThreadSlot& slot = slots_[tid];
+  slot.local_epoch.store(kIdle, std::memory_order_release);
+  if (defer_) return;
+  if (++slot.ops_since_scan >= kScanInterval && !slot.retired.empty()) {
+    slot.ops_since_scan = 0;
+    global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    Scan(tid);
+  }
+}
+
+void EpochManager::Retire(std::size_t tid, std::function<void()> deleter) {
+  ThreadSlot& slot = slots_[tid];
+  slot.retired.push_back(
+      {std::move(deleter), global_epoch_.load(std::memory_order_acquire)});
+}
+
+std::uint64_t EpochManager::MinActiveEpoch() const {
+  std::uint64_t min_epoch = kIdle;
+  for (const ThreadSlot& slot : slots_) {
+    min_epoch = std::min(min_epoch,
+                         slot.local_epoch.load(std::memory_order_acquire));
+  }
+  return min_epoch;
+}
+
+void EpochManager::Scan(std::size_t tid) {
+  const std::uint64_t horizon = MinActiveEpoch();
+  ThreadSlot& slot = slots_[tid];
+  auto alive_end = std::partition(
+      slot.retired.begin(), slot.retired.end(),
+      [horizon](const Retired& r) { return r.epoch >= horizon; });
+  for (auto it = alive_end; it != slot.retired.end(); ++it) {
+    it->deleter();
+  }
+  slot.retired.erase(alive_end, slot.retired.end());
+}
+
+void EpochManager::DrainAll() {
+  for (ThreadSlot& slot : slots_) {
+    for (Retired& r : slot.retired) r.deleter();
+    slot.retired.clear();
+  }
+}
+
+}  // namespace dcart::sync

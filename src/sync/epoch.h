@@ -1,0 +1,84 @@
+// Epoch-based memory reclamation for the concurrent tree variants.
+//
+// Optimistic readers may still hold pointers to nodes a writer just replaced
+// (grow, path split), so replaced nodes cannot be freed immediately.  Each
+// worker thread enters an epoch-protected region per operation; retired
+// nodes are tagged with the global epoch at retirement and freed once every
+// active thread has advanced past that epoch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dcart::sync {
+
+class EpochManager {
+ public:
+  static constexpr std::uint64_t kIdle = UINT64_MAX;
+
+  explicit EpochManager(std::size_t max_threads);
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII region guard: pins the current epoch for `tid` while alive.
+  class Guard {
+   public:
+    Guard(EpochManager& mgr, std::size_t tid) : mgr_(mgr), tid_(tid) {
+      mgr_.Enter(tid_);
+    }
+    ~Guard() { mgr_.Exit(tid_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager& mgr_;
+    std::size_t tid_;
+  };
+
+  void Enter(std::size_t tid);
+  void Exit(std::size_t tid);
+
+  /// Defer `deleter` until no thread can still reference the object.
+  /// Must be called from within an epoch-protected region of `tid`.
+  void Retire(std::size_t tid, std::function<void()> deleter);
+
+  /// Free everything immediately.  Only safe when no thread is in a region
+  /// (e.g. after a benchmark barrier or in the destructor).
+  void DrainAll();
+
+  std::uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// When set, Exit() never reclaims; retired objects accumulate until
+  /// DrainAll().  Used while callers cache node pointers across operations.
+  void set_defer(bool defer) { defer_ = defer; }
+
+ private:
+  struct Retired {
+    std::function<void()> deleter;
+    std::uint64_t epoch;
+  };
+
+  struct alignas(64) ThreadSlot {
+    std::atomic<std::uint64_t> local_epoch{kIdle};
+    std::vector<Retired> retired;  // touched only by the owning thread
+    std::uint64_t ops_since_scan = 0;
+  };
+
+  /// Smallest epoch pinned by any active thread (kIdle when none active).
+  std::uint64_t MinActiveEpoch() const;
+
+  /// Free this thread's retired objects older than the reclamation horizon.
+  void Scan(std::size_t tid);
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::vector<ThreadSlot> slots_;
+  bool defer_ = false;
+};
+
+}  // namespace dcart::sync

@@ -1,0 +1,283 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/key_codec.h"
+#include "common/rng.h"
+
+namespace dcart {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Key-set builders
+// ---------------------------------------------------------------------------
+
+/// Skewed categorical sampler over 256 byte values: Zipf ranks are mapped to
+/// a seeded random permutation of 0..255, so *which* prefixes are hot varies
+/// with the seed but a handful always dominates (paper Fig. 3).
+class SkewedByte {
+ public:
+  SkewedByte(double theta, std::uint64_t seed)
+      : zipf_(256, theta, seed), perm_(256) {
+    for (int i = 0; i < 256; ++i) perm_[i] = static_cast<std::uint8_t>(i);
+    SplitMix64 rng(seed ^ 0xabcdef);
+    Shuffle(perm_, rng);
+  }
+  std::uint8_t Next() { return perm_[zipf_.Next()]; }
+
+ private:
+  ZipfGenerator zipf_;
+  std::vector<std::uint8_t> perm_;
+};
+
+std::vector<Key> MakeIpgeoKeys(std::size_t n, std::uint64_t seed) {
+  // GeoLite2-like: /8 prefixes very skewed, /16 moderately skewed within,
+  // host bytes uniform.  Keys are the 4-byte big-endian addresses.
+  SkewedByte first(1.1, seed);
+  SkewedByte second(0.8, seed + 1);
+  SplitMix64 rng(seed + 2);
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<Key> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    const std::uint32_t ip = (static_cast<std::uint32_t>(first.Next()) << 24) |
+                             (static_cast<std::uint32_t>(second.Next()) << 16) |
+                             static_cast<std::uint32_t>(rng.NextBounded(65536));
+    if (seen.insert(ip).second) keys.push_back(EncodeU32(ip));
+  }
+  return keys;
+}
+
+/// Dictionary-like word: weighted first letter (English dictionary letter
+/// frequencies, roughly), then alternating consonant/vowel syllables.
+std::string MakeWord(SplitMix64& rng, SkewedByte& first_letter) {
+  static constexpr char kConsonants[] = "tnshrdlcmwfgypbvkjxqz";
+  static constexpr char kVowels[] = "aeiou";
+  std::string w;
+  w.push_back(static_cast<char>('a' + first_letter.Next() % 26));
+  const std::size_t syllables = 1 + rng.NextBounded(4);
+  for (std::size_t s = 0; s < syllables; ++s) {
+    w.push_back(kVowels[rng.NextBounded(5)]);
+    w.push_back(kConsonants[rng.NextBounded(21)]);
+    if (rng.NextBounded(4) == 0) w.push_back(kConsonants[rng.NextBounded(21)]);
+  }
+  return w;
+}
+
+std::vector<Key> MakeDictKeys(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  SkewedByte first_letter(0.6, seed + 1);
+  std::unordered_set<std::string> seen;
+  std::vector<Key> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    std::string w = MakeWord(rng, first_letter);
+    // Occasionally derive compounds, mimicking dictionary morphology and
+    // creating deep shared prefixes ("work", "worker", "working").
+    if (rng.NextBounded(3) == 0 && !seen.empty()) {
+      static constexpr const char* kSuffixes[] = {"s", "ed", "ing", "er",
+                                                  "ly", "ness"};
+      w += kSuffixes[rng.NextBounded(6)];
+    }
+    if (seen.insert(w).second) keys.push_back(EncodeString(w));
+  }
+  return keys;
+}
+
+std::vector<Key> MakeEmailKeys(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  SkewedByte first_letter(0.5, seed + 1);
+  // A Zipf-popular domain set, as in real mail corpora.
+  std::vector<std::string> domains;
+  static constexpr const char* kTlds[] = {".com", ".net", ".org", ".io",
+                                          ".cn"};
+  SkewedByte domain_letter(0.4, seed + 2);
+  for (int i = 0; i < 48; ++i) {
+    std::string d;
+    d.push_back(static_cast<char>('a' + domain_letter.Next() % 26));
+    const std::size_t len = 3 + rng.NextBounded(6);
+    for (std::size_t j = 1; j < len; ++j) {
+      d.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+    }
+    domains.push_back(d + kTlds[rng.NextBounded(5)]);
+  }
+  ZipfGenerator domain_pick(domains.size(), 0.9, seed + 3);
+
+  std::unordered_set<std::string> seen;
+  std::vector<Key> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    std::string local = MakeWord(rng, first_letter);
+    if (rng.NextBounded(2) == 0) {
+      local += std::to_string(rng.NextBounded(1000));
+    }
+    const std::string addr = local + "@" + domains[domain_pick.Next()];
+    if (seen.insert(addr).second) keys.push_back(EncodeString(addr));
+  }
+  return keys;
+}
+
+std::vector<Key> MakeDenseKeys(std::size_t n) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(EncodeU64(static_cast<std::uint64_t>(i)));
+  }
+  return keys;
+}
+
+std::vector<Key> MakeRandomSparseKeys(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Key> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    const std::uint64_t v = rng.Next();
+    if (seen.insert(v).second) keys.push_back(EncodeU64(v));
+  }
+  return keys;
+}
+
+std::vector<Key> MakeRandomDenseKeys(std::size_t n, std::uint64_t seed) {
+  auto keys = MakeDenseKeys(n);
+  SplitMix64 rng(seed);
+  Shuffle(keys, rng);
+  return keys;
+}
+
+}  // namespace
+
+const char* WorkloadName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kIPGEO:
+      return "IPGEO";
+    case WorkloadKind::kDICT:
+      return "DICT";
+    case WorkloadKind::kEA:
+      return "EA";
+    case WorkloadKind::kDE:
+      return "DE";
+    case WorkloadKind::kRS:
+      return "RS";
+    case WorkloadKind::kRD:
+      return "RD";
+  }
+  return "?";
+}
+
+std::vector<WorkloadKind> AllWorkloads() {
+  return {WorkloadKind::kIPGEO, WorkloadKind::kDICT, WorkloadKind::kEA,
+          WorkloadKind::kDE,    WorkloadKind::kRS,   WorkloadKind::kRD};
+}
+
+std::optional<WorkloadKind> ParseWorkloadName(const std::string& name) {
+  for (WorkloadKind kind : AllWorkloads()) {
+    if (name == WorkloadName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<MixPoint> PaperMixes() {
+  return {{'A', 0.0}, {'B', 0.25}, {'C', 0.5}, {'D', 0.75}, {'E', 1.0}};
+}
+
+Workload MakeWorkload(WorkloadKind kind, const WorkloadConfig& config) {
+  assert(config.num_keys > 0);
+  std::vector<Key> universe;
+  switch (kind) {
+    case WorkloadKind::kIPGEO:
+      universe = MakeIpgeoKeys(config.num_keys, config.seed);
+      break;
+    case WorkloadKind::kDICT:
+      universe = MakeDictKeys(config.num_keys, config.seed);
+      break;
+    case WorkloadKind::kEA:
+      universe = MakeEmailKeys(config.num_keys, config.seed);
+      break;
+    case WorkloadKind::kDE:
+      universe = MakeDenseKeys(config.num_keys);
+      break;
+    case WorkloadKind::kRS:
+      universe = MakeRandomSparseKeys(config.num_keys, config.seed);
+      break;
+    case WorkloadKind::kRD:
+      universe = MakeRandomDenseKeys(config.num_keys, config.seed);
+      break;
+  }
+
+  Workload w;
+  w.name = WorkloadName(kind);
+  SplitMix64 rng(config.seed ^ 0x5eed);
+
+  // Bulk-load the leading fraction of the universe (DE keeps its natural
+  // insertion order; the withheld tail makes a share of writes be inserts).
+  const auto load_n = static_cast<std::size_t>(
+      static_cast<double>(universe.size()) * config.load_fraction);
+  w.load_items.reserve(load_n);
+  for (std::size_t i = 0; i < load_n; ++i) {
+    w.load_items.emplace_back(universe[i], HashKey(universe[i]));
+  }
+
+  // Zipf over a shuffled rank permutation: the hot keys are a random subset,
+  // not the lexicographically smallest ones.
+  std::vector<std::uint32_t> rank_to_key(universe.size());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    rank_to_key[i] = static_cast<std::uint32_t>(i);
+  }
+  Shuffle(rank_to_key, rng);
+  ZipfGenerator zipf(universe.size(), config.zipf_theta, config.seed + 99);
+
+  w.ops.reserve(config.num_ops);
+  for (std::size_t i = 0; i < config.num_ops; ++i) {
+    Operation op;
+    op.key = universe[rank_to_key[zipf.Next()]];
+    const double roll = rng.NextDouble();
+    if (roll < config.write_ratio) {
+      op.type = OpType::kWrite;
+      op.value = rng.Next();
+    } else if (roll < config.write_ratio + config.scan_ratio) {
+      op.type = OpType::kScan;
+      op.scan_count = 1 + static_cast<std::uint32_t>(
+                              rng.NextBounded(config.max_scan_count));
+    } else {
+      op.type = OpType::kRead;
+    }
+    w.ops.push_back(std::move(op));
+  }
+  return w;
+}
+
+std::vector<std::uint64_t> PrefixHistogram(const Workload& workload) {
+  std::vector<std::uint64_t> hist(256, 0);
+  for (const Operation& op : workload.ops) {
+    if (!op.key.empty()) ++hist[op.key[0]];
+  }
+  return hist;
+}
+
+double HotKeyFraction(const Workload& workload, double coverage) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts.reserve(workload.ops.size());
+  for (const Operation& op : workload.ops) ++counts[HashKey(op.key)];
+  std::vector<std::uint64_t> freq;
+  freq.reserve(counts.size());
+  for (const auto& [_, c] : counts) freq.push_back(c);
+  std::sort(freq.begin(), freq.end(), std::greater<>());
+  const auto target = static_cast<std::uint64_t>(
+      coverage * static_cast<double>(workload.ops.size()));
+  std::uint64_t covered = 0;
+  std::size_t needed = 0;
+  while (needed < freq.size() && covered < target) {
+    covered += freq[needed++];
+  }
+  return counts.empty()
+             ? 0.0
+             : static_cast<double>(needed) / static_cast<double>(counts.size());
+}
+
+}  // namespace dcart

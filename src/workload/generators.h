@@ -1,0 +1,70 @@
+// Workload generators reproducing the paper's six benchmarks.
+//
+// Real-world sets (the paper used proprietary / very large corpora):
+//   IPGEO — GeoLite2 IP->country records: 4-byte IPv4 keys whose /8 and /16
+//           prefix popularity is heavily skewed (paper Fig. 3).
+//   DICT  — english-words dictionary: variable-length lowercase words from a
+//           letter-bigram model with realistic first-letter skew.
+//   EA    — email addresses: `local@domain` strings, skewed local-part
+//           initials and a Zipf-distributed domain set.
+// Synthetic sets (as defined in the ART paper and reused by DCART):
+//   DE — dense 8-byte integers 0..N-1 (inserted in order),
+//   RS — random sparse 8-byte integers (uniform over the full u64 space),
+//   RD — random dense: a random permutation of 0..N-1.
+//
+// Operation streams sample keys with a Zipf distribution over a shuffled
+// rank permutation, so a small random subset of keys is hot — this is the
+// temporal/spatial similarity DCART exploits.  A quarter of the key universe
+// is withheld from the bulk load so a realistic share of writes are inserts
+// (which trigger node growth and, in lock-based engines, extra locking).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/ops.h"
+
+namespace dcart {
+
+enum class WorkloadKind { kIPGEO, kDICT, kEA, kDE, kRS, kRD };
+
+const char* WorkloadName(WorkloadKind kind);
+std::vector<WorkloadKind> AllWorkloads();
+std::optional<WorkloadKind> ParseWorkloadName(const std::string& name);
+
+struct WorkloadConfig {
+  std::size_t num_keys = 200'000;  // key universe size (paper: 50 M)
+  std::size_t num_ops = 400'000;   // measured operations
+  double write_ratio = 0.5;        // paper default: 50 % read / 50 % write
+  // Operation skew.  1.3 is calibrated so the node-level concentration
+  // matches the paper's Fig. 3 (our generators: ~94 % of tree traversals on
+  // the hottest 5 % of nodes vs. the paper's >= 96.65 %); pass 0.99 for the
+  // classic YCSB zipfian.
+  double zipf_theta = 1.3;
+  std::uint64_t seed = 42;
+  double load_fraction = 0.9;      // share of the universe bulk-loaded
+  // Fraction of operations that are range scans (taken out of the read
+  // share; YCSB-E-style mixes).  Paper figures use 0.
+  double scan_ratio = 0.0;
+  std::uint32_t max_scan_count = 100;  // scan lengths uniform in [1, max]
+};
+
+Workload MakeWorkload(WorkloadKind kind, const WorkloadConfig& config);
+
+/// The paper's Fig. 12(b) mixes: A=100 % read .. E=100 % write.
+struct MixPoint {
+  char label;
+  double write_ratio;
+};
+std::vector<MixPoint> PaperMixes();
+
+/// Fig. 3 statistic: operation counts per first key byte (prefix 0x00-0xFF).
+std::vector<std::uint64_t> PrefixHistogram(const Workload& workload);
+
+/// Fig. 3 headline: smallest fraction of distinct keys receiving `coverage`
+/// (e.g. 0.9665) of all operations.
+double HotKeyFraction(const Workload& workload, double coverage);
+
+}  // namespace dcart

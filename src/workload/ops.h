@@ -1,0 +1,46 @@
+// Operation streams: the unit of work every engine executes.
+//
+// The paper's operations are point reads and writes ("read or write a
+// key-value item") issued concurrently against one ART.  A Workload bundles
+// the initial bulk-load key set with the measured operation stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "art/node.h"
+#include "common/bytes.h"
+
+namespace dcart {
+
+enum class OpType : std::uint8_t { kRead, kWrite, kScan };
+
+struct Operation {
+  OpType type = OpType::kRead;
+  Key key;                       // target key / scan start key
+  art::Value value = 0;          // payload for writes
+  std::uint32_t scan_count = 0;  // entries a kScan reads from `key` onward
+};
+
+struct Workload {
+  std::string name;
+  std::vector<std::pair<Key, art::Value>> load_items;  // bulk-loaded first
+  std::vector<Operation> ops;                          // the measured stream
+
+  std::size_t NumReads() const {
+    std::size_t n = 0;
+    for (const Operation& op : ops) n += op.type == OpType::kRead;
+    return n;
+  }
+  std::size_t NumScans() const {
+    std::size_t n = 0;
+    for (const Operation& op : ops) n += op.type == OpType::kScan;
+    return n;
+  }
+  std::size_t NumWrites() const {
+    return ops.size() - NumReads() - NumScans();
+  }
+};
+
+}  // namespace dcart

@@ -1,0 +1,130 @@
+#include "workload/trace_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace dcart {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'C', 'W', 'T', 'R', 'C', '0', '2'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, std::size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, std::size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+template <typename T>
+bool WritePod(std::FILE* f, T value) {
+  return WriteBytes(f, &value, sizeof value);
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T& value) {
+  return ReadBytes(f, &value, sizeof value);
+}
+
+bool WriteKey(std::FILE* f, const Key& key) {
+  return WritePod(f, static_cast<std::uint32_t>(key.size())) &&
+         WriteBytes(f, key.data(), key.size());
+}
+
+bool ReadKey(std::FILE* f, Key& key) {
+  std::uint32_t len = 0;
+  if (!ReadPod(f, len)) return false;
+  // Keys beyond 1 MiB indicate a corrupt file, not a real key.
+  if (len > (1u << 20)) return false;
+  key.resize(len);
+  return len == 0 || ReadBytes(f, key.data(), len);
+}
+
+}  // namespace
+
+bool SaveWorkload(const Workload& workload, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (!WriteBytes(f.get(), kMagic, sizeof kMagic)) return false;
+  if (!WritePod(f.get(), static_cast<std::uint32_t>(workload.name.size())) ||
+      !WriteBytes(f.get(), workload.name.data(), workload.name.size())) {
+    return false;
+  }
+  if (!WritePod(f.get(),
+                static_cast<std::uint64_t>(workload.load_items.size()))) {
+    return false;
+  }
+  for (const auto& [key, value] : workload.load_items) {
+    if (!WriteKey(f.get(), key) || !WritePod(f.get(), value)) return false;
+  }
+  if (!WritePod(f.get(), static_cast<std::uint64_t>(workload.ops.size()))) {
+    return false;
+  }
+  for (const Operation& op : workload.ops) {
+    if (!WritePod(f.get(), static_cast<std::uint8_t>(op.type)) ||
+        !WriteKey(f.get(), op.key) || !WritePod(f.get(), op.value) ||
+        !WritePod(f.get(), op.scan_count)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadWorkload(const std::string& path, Workload& out) {
+  out = Workload{};
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  char magic[sizeof kMagic];
+  if (!ReadBytes(f.get(), magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return false;
+  }
+  std::uint32_t name_len = 0;
+  if (!ReadPod(f.get(), name_len) || name_len > 4096) return false;
+  out.name.resize(name_len);
+  if (name_len > 0 && !ReadBytes(f.get(), out.name.data(), name_len)) {
+    return false;
+  }
+  std::uint64_t load_count = 0;
+  if (!ReadPod(f.get(), load_count)) return false;
+  out.load_items.reserve(load_count);
+  for (std::uint64_t i = 0; i < load_count; ++i) {
+    Key key;
+    art::Value value = 0;
+    if (!ReadKey(f.get(), key) || !ReadPod(f.get(), value)) {
+      out = Workload{};
+      return false;
+    }
+    out.load_items.emplace_back(std::move(key), value);
+  }
+  std::uint64_t op_count = 0;
+  if (!ReadPod(f.get(), op_count)) {
+    out = Workload{};
+    return false;
+  }
+  out.ops.reserve(op_count);
+  for (std::uint64_t i = 0; i < op_count; ++i) {
+    std::uint8_t type = 0;
+    Operation op;
+    if (!ReadPod(f.get(), type) || type > 2 || !ReadKey(f.get(), op.key) ||
+        !ReadPod(f.get(), op.value) || !ReadPod(f.get(), op.scan_count)) {
+      out = Workload{};
+      return false;
+    }
+    op.type = static_cast<OpType>(type);
+    out.ops.push_back(std::move(op));
+  }
+  return true;
+}
+
+}  // namespace dcart

@@ -1,0 +1,312 @@
+// Property-based tests for the core ART: random operation sequences are
+// cross-checked against std::map as the reference model, across several key
+// distributions and operation mixes (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "art/tree.h"
+#include "common/key_codec.h"
+#include "common/rng.h"
+
+namespace dcart::art {
+namespace {
+
+enum class KeyDist { kDenseInt, kSparseInt, kShortString, kLongSharedPrefix };
+
+std::string DistName(KeyDist d) {
+  switch (d) {
+    case KeyDist::kDenseInt:
+      return "DenseInt";
+    case KeyDist::kSparseInt:
+      return "SparseInt";
+    case KeyDist::kShortString:
+      return "ShortString";
+    case KeyDist::kLongSharedPrefix:
+      return "LongSharedPrefix";
+  }
+  return "?";
+}
+
+Key MakeKey(KeyDist dist, SplitMix64& rng) {
+  switch (dist) {
+    case KeyDist::kDenseInt:
+      return EncodeU64(rng.NextBounded(5000));
+    case KeyDist::kSparseInt:
+      return EncodeU64(rng.Next());
+    case KeyDist::kShortString: {
+      std::string s;
+      const std::size_t len = 1 + rng.NextBounded(6);
+      for (std::size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.NextBounded(4)));
+      }
+      return EncodeString(s);
+    }
+    case KeyDist::kLongSharedPrefix: {
+      // Deep shared prefixes exercise the non-stored path-compression tail.
+      std::string s = "shared/prefix/longer/than/twelve/bytes/";
+      const std::size_t len = 1 + rng.NextBounded(4);
+      for (std::size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+      }
+      return EncodeString(s);
+    }
+  }
+  return {};
+}
+
+using ModelParams = std::tuple<KeyDist, int /*ops*/, int /*write_pct*/>;
+
+class TreeModelCheck : public ::testing::TestWithParam<ModelParams> {};
+
+TEST_P(TreeModelCheck, MatchesStdMapUnderRandomOps) {
+  const auto [dist, num_ops, write_pct] = GetParam();
+  Tree tree;
+  std::map<Key, Value> model;
+  SplitMix64 rng(static_cast<std::uint64_t>(num_ops) * 31 +
+                 static_cast<std::uint64_t>(dist) * 7 +
+                 static_cast<std::uint64_t>(write_pct));
+
+  for (int i = 0; i < num_ops; ++i) {
+    const Key key = MakeKey(dist, rng);
+    const auto roll = rng.NextBounded(100);
+    if (roll < static_cast<std::uint64_t>(write_pct)) {
+      const Value v = rng.Next();
+      const bool inserted = tree.Insert(key, v);
+      const bool was_new = !model.contains(key);
+      ASSERT_EQ(inserted, was_new);
+      model[key] = v;
+    } else if (roll < static_cast<std::uint64_t>(write_pct) + 15) {
+      const bool removed = tree.Remove(key);
+      ASSERT_EQ(removed, model.erase(key) > 0);
+    } else {
+      const auto got = tree.Get(key);
+      const auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+    ASSERT_EQ(tree.size(), model.size());
+  }
+
+  // Final full sweep: every model key present with the right value, and an
+  // in-order scan reproduces the model exactly.
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(tree.Get(k).value(), v);
+  }
+  std::vector<std::pair<Key, Value>> scanned;
+  if (!model.empty()) {
+    tree.Scan(model.begin()->first, model.rbegin()->first,
+              [&scanned](KeyView k, Value v) {
+                scanned.emplace_back(Key(k.begin(), k.end()), v);
+                return true;
+              });
+  }
+  ASSERT_EQ(scanned.size(), model.size());
+  auto it = model.begin();
+  for (std::size_t i = 0; i < scanned.size(); ++i, ++it) {
+    ASSERT_EQ(scanned[i].first, it->first);
+    ASSERT_EQ(scanned[i].second, it->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeModelCheck,
+    ::testing::Combine(
+        ::testing::Values(KeyDist::kDenseInt, KeyDist::kSparseInt,
+                          KeyDist::kShortString, KeyDist::kLongSharedPrefix),
+        ::testing::Values(2000, 10000),
+        ::testing::Values(30, 60, 90)),
+    [](const ::testing::TestParamInfo<ModelParams>& info) {
+      return DistName(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param)) + "ops_" +
+             std::to_string(std::get<2>(info.param)) + "w";
+    });
+
+// Invariant: inserting N distinct keys in any order yields identical scans
+// and identical memory-structure statistics are not required, but key order
+// must be canonical.
+class InsertOrderInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(InsertOrderInvariance, ScanIsOrderIndependent) {
+  const int n = GetParam();
+  SplitMix64 rng(static_cast<std::uint64_t>(n));
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) keys.push_back(rng.Next());
+
+  Tree forward, shuffled_tree;
+  for (auto k : keys) forward.Insert(EncodeU64(k), k);
+  auto shuffled = keys;
+  Shuffle(shuffled, rng);
+  for (auto k : shuffled) shuffled_tree.Insert(EncodeU64(k), k);
+
+  std::vector<std::uint64_t> a, b;
+  forward.Scan(EncodeU64(0), EncodeU64(UINT64_MAX),
+               [&a](KeyView k, Value) {
+                 a.push_back(DecodeU64(k));
+                 return true;
+               });
+  shuffled_tree.Scan(EncodeU64(0), EncodeU64(UINT64_MAX),
+                     [&b](KeyView k, Value) {
+                       b.push_back(DecodeU64(k));
+                       return true;
+                     });
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(forward.size(), shuffled_tree.size());
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InsertOrderInvariance,
+                         ::testing::Values(10, 100, 1000, 5000));
+
+// Invariant: internal nodes always have >= 2 children after any operation
+// sequence (single-child N4s must be merged away), and node counts respect
+// type capacities.
+void CheckStructuralInvariants(NodeRef ref, std::size_t depth) {
+  if (ref.IsNull() || ref.IsLeaf()) return;
+  const Node* node = ref.AsNode();
+  ASSERT_GE(node->count, 2) << "internal node with < 2 children at depth "
+                            << depth;
+  switch (node->type) {
+    case NodeType::kN4:
+      ASSERT_LE(node->count, 4);
+      break;
+    case NodeType::kN16:
+      ASSERT_LE(node->count, 16);
+      break;
+    case NodeType::kN48:
+      ASSERT_LE(node->count, 48);
+      break;
+    case NodeType::kN256:
+      ASSERT_LE(node->count, 256);
+      break;
+  }
+  ASSERT_EQ(node->stored_prefix_len,
+            std::min<std::uint32_t>(node->prefix_len, kMaxStoredPrefix));
+  EnumerateChildren(node, [depth](std::uint8_t, NodeRef child) {
+    CheckStructuralInvariants(child, depth + 1);
+    return true;
+  });
+}
+
+class StructuralInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructuralInvariants, HoldAfterChurn) {
+  const int seed = GetParam();
+  Tree tree;
+  SplitMix64 rng(static_cast<std::uint64_t>(seed));
+  std::vector<Key> live;
+  for (int i = 0; i < 20000; ++i) {
+    if (live.empty() || rng.NextBounded(3) != 0) {
+      Key k = EncodeU64(rng.NextBounded(30000));
+      if (tree.Insert(k, rng.Next())) live.push_back(std::move(k));
+    } else {
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.NextBounded(live.size()));
+      tree.Remove(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  CheckStructuralInvariants(tree.root(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuralInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Mixed mutation + query fuzz: random Insert/Remove/Get/Scan/ScanPrefix
+// against std::map, all checked exactly.
+class MixedQueryFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixedQueryFuzz, AllQueryFormsAgreeWithModel) {
+  const int seed = GetParam();
+  Tree tree;
+  std::map<Key, Value> model;
+  SplitMix64 rng(static_cast<std::uint64_t>(seed) * 101 + 7);
+  const auto random_word = [&rng] {
+    std::string s;
+    const std::size_t len = 1 + rng.NextBounded(10);
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+    }
+    return s;
+  };
+  for (int i = 0; i < 8000; ++i) {
+    const std::string w = random_word();
+    const Key key = EncodeString(w);
+    switch (rng.NextBounded(5)) {
+      case 0:
+      case 1: {
+        const Value v = rng.Next();
+        tree.Insert(key, v);
+        model[key] = v;
+        break;
+      }
+      case 2:
+        ASSERT_EQ(tree.Remove(key), model.erase(key) > 0);
+        break;
+      case 3: {
+        const auto got = tree.Get(key);
+        const auto it = model.find(key);
+        ASSERT_EQ(got.has_value(), it != model.end());
+        if (got) ASSERT_EQ(*got, it->second);
+        break;
+      }
+      default: {
+        // Prefix query vs brute force over the model.
+        const std::string prefix = random_word().substr(0, 2);
+        std::vector<Key> expected;
+        for (const auto& [k, v] : model) {
+          const std::string s = DecodeString(k);
+          if (s.starts_with(prefix)) expected.push_back(k);
+        }
+        std::vector<Key> got;
+        tree.ScanPrefix(Key(prefix.begin(), prefix.end()),
+                        [&got](KeyView k, Value) {
+                          got.emplace_back(k.begin(), k.end());
+                          return true;
+                        });
+        ASSERT_EQ(got, expected) << "prefix=" << prefix;
+      }
+    }
+  }
+  ASSERT_EQ(tree.size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedQueryFuzz, ::testing::Values(1, 2, 3));
+
+// Leaf keys must agree with the compressed paths above them: every leaf is
+// reachable by exact key lookup.
+TEST(TreeProperty, EveryScannedKeyIsGettable) {
+  Tree tree;
+  SplitMix64 rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    std::string s;
+    const std::size_t len = 1 + rng.NextBounded(20);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+    }
+    tree.Insert(EncodeString(s), i);
+  }
+  std::size_t checked = 0;
+  tree.Scan(EncodeString(""), EncodeString(std::string(21, 'z')),
+            [&](KeyView k, Value v) {
+              const auto got = tree.Get(k);
+              EXPECT_TRUE(got.has_value());
+              EXPECT_EQ(*got, v);
+              ++checked;
+              return true;
+            });
+  EXPECT_EQ(checked, tree.size());
+}
+
+}  // namespace
+}  // namespace dcart::art

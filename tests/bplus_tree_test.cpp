@@ -1,0 +1,129 @@
+// Tests for the B+ tree substrate (the write-amplification comparison).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "baselines/bplus_tree.h"
+#include "common/key_codec.h"
+#include "common/rng.h"
+
+namespace dcart::baselines {
+namespace {
+
+TEST(BPlusTree, InsertGetUpdate) {
+  BPlusTree t;
+  EXPECT_TRUE(t.Insert(EncodeU64(5), 50));
+  EXPECT_FALSE(t.Insert(EncodeU64(5), 51));
+  EXPECT_EQ(t.Get(EncodeU64(5)).value(), 51u);
+  EXPECT_FALSE(t.Get(EncodeU64(6)).has_value());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTree, SplitsGrowHeight) {
+  BPlusTree t(/*order=*/8);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.Insert(EncodeU64(i), i));
+  }
+  EXPECT_GT(t.height(), 2u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(t.Get(EncodeU64(i)).value(), i) << i;
+  }
+}
+
+TEST(BPlusTree, MatchesModelUnderChurn) {
+  BPlusTree t(/*order=*/16);
+  std::map<std::uint64_t, std::uint64_t> model;
+  SplitMix64 rng(23);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t k = rng.NextBounded(4000);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        const std::uint64_t v = rng.Next();
+        t.Insert(EncodeU64(k), v);
+        model[k] = v;
+        break;
+      }
+      case 2:
+        ASSERT_EQ(t.Remove(EncodeU64(k)), model.erase(k) > 0) << k;
+        break;
+      default: {
+        const auto got = t.Get(EncodeU64(k));
+        const auto it = model.find(k);
+        ASSERT_EQ(got.has_value(), it != model.end()) << k;
+        if (got) ASSERT_EQ(*got, it->second);
+      }
+    }
+    ASSERT_EQ(t.size(), model.size());
+  }
+}
+
+TEST(BPlusTree, OrderedScan) {
+  BPlusTree t(/*order=*/8);
+  SplitMix64 rng(7);
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t k = rng.NextBounded(100000);
+    model[k] = k;
+    t.Insert(EncodeU64(k), k);
+  }
+  std::vector<std::uint64_t> got;
+  t.Scan(EncodeU64(20000), EncodeU64(40000), [&got](KeyView k, art::Value) {
+    got.push_back(DecodeU64(k));
+    return true;
+  });
+  std::vector<std::uint64_t> expected;
+  for (auto it = model.lower_bound(20000);
+       it != model.end() && it->first <= 40000; ++it) {
+    expected.push_back(it->first);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BPlusTree, StringKeys) {
+  BPlusTree t(/*order=*/4);
+  const std::vector<std::string> words = {"delta", "alpha", "echo",
+                                          "charlie", "bravo", "foxtrot"};
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    t.Insert(EncodeString(words[i]), i);
+  }
+  std::vector<std::string> got;
+  t.Scan(EncodeString("alpha"), EncodeString("zzz"),
+         [&got](KeyView k, art::Value) {
+           got.push_back(DecodeString(k));
+           return true;
+         });
+  EXPECT_EQ(got, (std::vector<std::string>{"alpha", "bravo", "charlie",
+                                           "delta", "echo", "foxtrot"}));
+}
+
+TEST(BPlusTree, WriteAmplificationExceedsPayload) {
+  // Sorted-array maintenance rewrites neighbours: bytes written must exceed
+  // the raw payload by a clear factor (the paper's point).
+  BPlusTree t(/*order=*/64);
+  SplitMix64 rng(3);
+  std::uint64_t payload = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Key k = EncodeU64(rng.Next());
+    payload += k.size() + sizeof(art::Value);
+    t.Insert(k, 1);
+  }
+  EXPECT_GT(t.bytes_written(), 3 * payload);
+}
+
+TEST(BPlusTree, EmptyTreeQueries) {
+  BPlusTree t;
+  EXPECT_FALSE(t.Get(EncodeU64(1)).has_value());
+  EXPECT_FALSE(t.Remove(EncodeU64(1)));
+  std::size_t n = 0;
+  t.Scan(EncodeU64(0), EncodeU64(100), [&n](KeyView, art::Value) {
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(t.height(), 1u);
+}
+
+}  // namespace
+}  // namespace dcart::baselines

@@ -1,0 +1,404 @@
+// Unit tests for the common substrate: key codecs, hashing, RNG/Zipf,
+// histograms, thread pool, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/cli.h"
+#include "common/histogram.h"
+#include "common/key_codec.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+
+namespace dcart {
+namespace {
+
+// ---------------------------------------------------------------- bytes ----
+
+TEST(Bytes, CommonPrefixLength) {
+  const Key a{1, 2, 3, 4};
+  const Key b{1, 2, 9, 4};
+  EXPECT_EQ(CommonPrefixLength(a, b), 2u);
+  EXPECT_EQ(CommonPrefixLength(a, a), 4u);
+  EXPECT_EQ(CommonPrefixLength(a, Key{}), 0u);
+  EXPECT_EQ(CommonPrefixLength(a, Key{1, 2}), 2u);
+}
+
+TEST(Bytes, CompareKeysOrdersLikeMemcmp) {
+  const Key a{1, 2, 3};
+  const Key b{1, 2, 4};
+  const Key prefix{1, 2};
+  EXPECT_LT(CompareKeys(a, b), 0);
+  EXPECT_GT(CompareKeys(b, a), 0);
+  EXPECT_EQ(CompareKeys(a, a), 0);
+  EXPECT_LT(CompareKeys(prefix, a), 0);  // shorter prefix sorts first
+  EXPECT_GT(CompareKeys(a, prefix), 0);
+}
+
+TEST(Bytes, KeysEqual) {
+  EXPECT_TRUE(KeysEqual(Key{5, 6}, Key{5, 6}));
+  EXPECT_FALSE(KeysEqual(Key{5, 6}, Key{5, 7}));
+  EXPECT_FALSE(KeysEqual(Key{5, 6}, Key{5, 6, 7}));
+  EXPECT_TRUE(KeysEqual(Key{}, Key{}));
+}
+
+TEST(Bytes, ToHexTruncates) {
+  const Key k{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(ToHex(k), "0xdeadbeef");
+  EXPECT_EQ(ToHex(k, 2), "0xdead..");
+}
+
+TEST(Bytes, HashKeyDistinguishesKeys) {
+  EXPECT_NE(HashKey(Key{1}), HashKey(Key{2}));
+  EXPECT_NE(HashKey(Key{1, 0}), HashKey(Key{0, 1}));
+  EXPECT_EQ(HashKey(Key{1, 2, 3}), HashKey(Key{1, 2, 3}));
+}
+
+// ------------------------------------------------------------- key_codec ---
+
+TEST(KeyCodec, U64RoundTrip) {
+  for (std::uint64_t v : std::vector<std::uint64_t>{
+           0, 1, 255, 256, 0xdeadbeefcafef00dull, UINT64_MAX}) {
+    const Key k = EncodeU64(v);
+    ASSERT_EQ(k.size(), 8u);
+    EXPECT_EQ(DecodeU64(k), v);
+  }
+}
+
+TEST(KeyCodec, U64OrderPreserving) {
+  SplitMix64 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.Next();
+    const std::uint64_t b = rng.Next();
+    const int cmp = CompareKeys(EncodeU64(a), EncodeU64(b));
+    if (a < b) {
+      EXPECT_LT(cmp, 0);
+    } else if (a > b) {
+      EXPECT_GT(cmp, 0);
+    } else {
+      EXPECT_EQ(cmp, 0);
+    }
+  }
+}
+
+TEST(KeyCodec, U32RoundTrip) {
+  for (std::uint32_t v : {0u, 77u, 0xffffffffu}) {
+    EXPECT_EQ(DecodeU32(EncodeU32(v)), v);
+  }
+}
+
+TEST(KeyCodec, StringRoundTripAndTermination) {
+  const Key k = EncodeString("hello");
+  ASSERT_EQ(k.size(), 6u);
+  EXPECT_EQ(k.back(), 0u);
+  EXPECT_EQ(DecodeString(k), "hello");
+  EXPECT_EQ(DecodeString(EncodeString("")), "");
+}
+
+TEST(KeyCodec, StringKeysArePrefixFree) {
+  // "ab" is a prefix of "abc" as a string, but the encoded forms must not be.
+  const Key a = EncodeString("ab");
+  const Key b = EncodeString("abc");
+  EXPECT_NE(CommonPrefixLength(a, b), a.size());
+}
+
+TEST(KeyCodec, ParseIPv4Valid) {
+  Key k;
+  ASSERT_TRUE(ParseIPv4("1.2.3.4", k));
+  EXPECT_EQ(k, (Key{1, 2, 3, 4}));
+  ASSERT_TRUE(ParseIPv4("255.255.255.255", k));
+  EXPECT_EQ(k, (Key{255, 255, 255, 255}));
+  ASSERT_TRUE(ParseIPv4("0.0.0.0", k));
+  EXPECT_EQ(FormatIPv4(k), "0.0.0.0");
+}
+
+TEST(KeyCodec, ParseIPv4Invalid) {
+  Key k;
+  EXPECT_FALSE(ParseIPv4("1.2.3", k));
+  EXPECT_FALSE(ParseIPv4("1.2.3.256", k));
+  EXPECT_FALSE(ParseIPv4("1.2.3.4.5", k));
+  EXPECT_FALSE(ParseIPv4("a.b.c.d", k));
+  EXPECT_FALSE(ParseIPv4("", k));
+  EXPECT_FALSE(ParseIPv4("1..2.3", k));
+}
+
+TEST(KeyCodec, FormatIPv4RoundTrip) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Key k = EncodeU32(static_cast<std::uint32_t>(rng.Next()));
+    Key parsed;
+    ASSERT_TRUE(ParseIPv4(FormatIPv4(k), parsed));
+    EXPECT_EQ(parsed, k);
+  }
+}
+
+// ------------------------------------------------------------------- rng ---
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedInRange) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  ZipfGenerator zipf(1000, 0.99, 11);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks) {
+  ZipfGenerator zipf(100000, 0.99, 13);
+  std::uint64_t head = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 5000) ++head;  // hottest 5 % of the ID space
+  }
+  // Under uniform sampling head/n would be 5 %; Zipf 0.99 concentrates the
+  // mass heavily (paper Fig. 3: >= 96 % of traversals on <= 5 % of nodes).
+  EXPECT_GT(static_cast<double>(head) / n, 0.6);
+}
+
+TEST(Rng, ZipfUniformishWhenThetaSmall) {
+  ZipfGenerator zipf(100, 0.01, 17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next()];
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(),
+                                                    counts.end());
+  EXPECT_GT(*min_it, 0);
+  EXPECT_LT(*max_it, 20 * *min_it);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  std::vector<int> v(257);
+  std::iota(v.begin(), v.end(), 0);
+  SplitMix64 rng(3);
+  auto shuffled = v;
+  Shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// ------------------------------------------------------------- histogram ---
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  LatencyHistogram h;
+  h.Record(42);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 42u);
+  EXPECT_EQ(h.Max(), 42u);
+  EXPECT_EQ(h.Quantile(0.0), 42u);
+  EXPECT_EQ(h.Quantile(0.5), 42u);
+  EXPECT_EQ(h.Quantile(1.0), 42u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.Record(v);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 31u);
+  EXPECT_EQ(h.Count(), 32u);
+}
+
+TEST(Histogram, QuantilesHaveBoundedRelativeError) {
+  LatencyHistogram h;
+  SplitMix64 rng(21);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = 100 + rng.NextBounded(1000000);
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const auto exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const auto approx = h.Quantile(q);
+    const double rel = std::abs(static_cast<double>(approx) -
+                                static_cast<double>(exact)) /
+                       static_cast<double>(exact);
+    EXPECT_LT(rel, 0.10) << "q=" << q << " exact=" << exact
+                         << " approx=" << approx;
+  }
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  SplitMix64 rng(33);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.NextBounded(100000);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_EQ(a.Min(), combined.Min());
+  EXPECT_EQ(a.Max(), combined.Max());
+  EXPECT_EQ(a.Quantile(0.99), combined.Quantile(0.99));
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.Record(100);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(Histogram, RecordManyEquivalentToLoop) {
+  LatencyHistogram a, b;
+  a.RecordMany(500, 10);
+  for (int i = 0; i < 10; ++i) b.Record(500);
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_EQ(a.Mean(), b.Mean());
+  EXPECT_EQ(a.Quantile(0.5), b.Quantile(0.5));
+}
+
+TEST(Histogram, HugeValuesDoNotOverflowBuckets) {
+  LatencyHistogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX / 2);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Max(), UINT64_MAX);
+  EXPECT_GE(h.Quantile(1.0), UINT64_MAX / 2);
+}
+
+// ----------------------------------------------------------------- stats ---
+
+TEST(Stats, MergeAddsEveryField) {
+  OpStats a, b;
+  a.operations = 1;
+  a.partial_key_matches = 2;
+  a.lock_contentions = 3;
+  b.operations = 10;
+  b.partial_key_matches = 20;
+  b.lock_contentions = 30;
+  b.shortcut_hits = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.operations, 11u);
+  EXPECT_EQ(a.partial_key_matches, 22u);
+  EXPECT_EQ(a.lock_contentions, 33u);
+  EXPECT_EQ(a.shortcut_hits, 5u);
+}
+
+TEST(Stats, CachelineUtilization) {
+  OpStats s;
+  EXPECT_EQ(s.CachelineUtilization(), 0.0);
+  s.offchip_bytes = 640;
+  s.useful_bytes = 128;
+  EXPECT_DOUBLE_EQ(s.CachelineUtilization(), 0.2);
+}
+
+TEST(Stats, RedundantRatio) {
+  EXPECT_EQ(OpStats::RedundantRatio(0, 0), 0.0);
+  EXPECT_EQ(OpStats::RedundantRatio(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(OpStats::RedundantRatio(100, 20), 0.8);
+  EXPECT_EQ(OpStats::RedundantRatio(10, 20), 0.0);  // clamped, not negative
+}
+
+// ----------------------------------------------------------- thread pool ---
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, RunParallelPassesDistinctIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(8);
+  pool.RunParallel(8, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelismClampedToPoolSize) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.RunParallel(64, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ZeroThreadsBecomesOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitIdleOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+// ------------------------------------------------------------------- cli ---
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--keys=100", "--ops", "200", "--flag"};
+  CliFlags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("keys", 0), 100);
+  EXPECT_EQ(flags.GetInt("ops", 0), 200);
+  EXPECT_TRUE(flags.GetBool("flag", false));
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "run", "--n=1", "fast"};
+  CliFlags flags(4, const_cast<char**>(argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "fast");
+}
+
+TEST(Cli, DoubleAndStringValues) {
+  const char* argv[] = {"prog", "--theta=0.99", "--name=ipgeo"};
+  CliFlags flags(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("theta", 0.0), 0.99);
+  EXPECT_EQ(flags.GetString("name", ""), "ipgeo");
+  EXPECT_TRUE(flags.Has("theta"));
+  EXPECT_FALSE(flags.Has("absent"));
+}
+
+}  // namespace
+}  // namespace dcart

@@ -1,0 +1,202 @@
+// Property sweep across every engine x workload x mix: after any run, the
+// engine's index must equal the sequential replay of the stream, reads must
+// hit exactly when the reference says so, and the modeled outputs must be
+// finite and positive.  Plus run-shape edge cases (empty stream, batch
+// size 1, single op, repeated Run calls).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "baselines/cpu_engines.h"
+#include "common/key_codec.h"
+#include "baselines/cuart.h"
+#include "dcart/accelerator.h"
+#include "dcartc/dcartc.h"
+#include "workload/generators.h"
+
+namespace dcart {
+namespace {
+
+enum class EngineKind { kArt, kHeart, kSmart, kCuart, kDcartC, kDcart };
+
+const char* EngineName(EngineKind e) {
+  switch (e) {
+    case EngineKind::kArt:
+      return "ART";
+    case EngineKind::kHeart:
+      return "Heart";
+    case EngineKind::kSmart:
+      return "SMART";
+    case EngineKind::kCuart:
+      return "CuART";
+    case EngineKind::kDcartC:
+      return "DCARTC";
+    case EngineKind::kDcart:
+      return "DCART";
+  }
+  return "?";
+}
+
+std::unique_ptr<IndexEngine> Make(EngineKind e) {
+  switch (e) {
+    case EngineKind::kArt:
+      return baselines::MakeArtOlcEngine();
+    case EngineKind::kHeart:
+      return baselines::MakeHeartEngine();
+    case EngineKind::kSmart:
+      return baselines::MakeSmartEngine();
+    case EngineKind::kCuart:
+      return std::make_unique<baselines::CuartEngine>();
+    case EngineKind::kDcartC:
+      return std::make_unique<dcartc::DcartCEngine>();
+    case EngineKind::kDcart:
+      return std::make_unique<accel::DcartEngine>();
+  }
+  return nullptr;
+}
+
+using SweepParams = std::tuple<EngineKind, WorkloadKind, double /*writes*/>;
+
+class EngineSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(EngineSweep, FinalStateAndReadHitsMatchReference) {
+  const auto [engine_kind, workload_kind, write_ratio] = GetParam();
+  WorkloadConfig cfg;
+  cfg.num_keys = 4000;
+  cfg.num_ops = 12000;
+  cfg.write_ratio = write_ratio;
+  cfg.seed = 5;
+  const Workload w = MakeWorkload(workload_kind, cfg);
+
+  // Sequential reference replay.
+  std::map<Key, art::Value> reference;
+  for (const auto& [k, v] : w.load_items) reference[k] = v;
+  std::uint64_t expected_hits = 0;
+  for (const Operation& op : w.ops) {
+    if (op.type == OpType::kWrite) {
+      reference[op.key] = op.value;
+    } else if (reference.contains(op.key)) {
+      ++expected_hits;
+    }
+  }
+
+  auto engine = Make(engine_kind);
+  engine->Load(w.load_items);
+  const ExecutionResult r = engine->Run(w.ops, RunConfig{});
+
+  EXPECT_EQ(r.stats.operations, w.ops.size());
+  EXPECT_EQ(r.reads_hit, expected_hits);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(r.seconds));
+  EXPECT_GT(r.energy_joules, 0.0);
+
+  std::size_t i = 0;
+  for (const auto& [k, v] : reference) {
+    if (++i % 13 != 0) continue;  // sampled full-state check
+    const auto got = engine->Lookup(k);
+    ASSERT_TRUE(got.has_value()) << ToHex(k);
+    ASSERT_EQ(*got, v) << ToHex(k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAllWorkloads, EngineSweep,
+    ::testing::Combine(
+        ::testing::Values(EngineKind::kArt, EngineKind::kHeart,
+                          EngineKind::kSmart, EngineKind::kCuart,
+                          EngineKind::kDcartC, EngineKind::kDcart),
+        ::testing::Values(WorkloadKind::kIPGEO, WorkloadKind::kDICT,
+                          WorkloadKind::kRS),
+        ::testing::Values(0.0, 0.5, 1.0)),
+    [](const ::testing::TestParamInfo<SweepParams>& info) {
+      return std::string(EngineName(std::get<0>(info.param))) + "_" +
+             WorkloadName(std::get<1>(info.param)) + "_w" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+// ------------------------------------------------------------ edge cases --
+
+class EngineEdgeCases : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(EngineEdgeCases, EmptyStream) {
+  auto engine = Make(GetParam());
+  engine->Load({{EncodeU64(1), 10}});
+  const ExecutionResult r = engine->Run({}, RunConfig{});
+  EXPECT_EQ(r.stats.operations, 0u);
+  EXPECT_EQ(engine->Lookup(EncodeU64(1)).value(), 10u);
+}
+
+TEST_P(EngineEdgeCases, EmptyLoadThenWrites) {
+  auto engine = Make(GetParam());
+  engine->Load({});
+  std::vector<Operation> ops;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ops.push_back({OpType::kWrite, EncodeU64(i), i * 2});
+  }
+  engine->Run(ops, RunConfig{});
+  for (std::uint64_t i = 0; i < 100; i += 7) {
+    ASSERT_EQ(engine->Lookup(EncodeU64(i)).value(), i * 2);
+  }
+}
+
+TEST_P(EngineEdgeCases, SingleOperation) {
+  auto engine = Make(GetParam());
+  engine->Load({{EncodeU64(5), 50}});
+  std::vector<Operation> ops = {{OpType::kRead, EncodeU64(5), 0}};
+  const ExecutionResult r = engine->Run(ops, RunConfig{});
+  EXPECT_EQ(r.reads_hit, 1u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST_P(EngineEdgeCases, BatchSizeOne) {
+  auto engine = Make(GetParam());
+  engine->Load({{EncodeU64(1), 1}});
+  std::vector<Operation> ops;
+  for (int i = 0; i < 50; ++i) {
+    ops.push_back({i % 2 ? OpType::kRead : OpType::kWrite, EncodeU64(1),
+                   static_cast<art::Value>(i)});
+  }
+  RunConfig cfg;
+  cfg.batch_size = 1;
+  const ExecutionResult r = engine->Run(ops, cfg);
+  EXPECT_EQ(r.stats.operations, 50u);
+  EXPECT_EQ(engine->Lookup(EncodeU64(1)).value(), 48u);  // last write
+}
+
+TEST_P(EngineEdgeCases, RepeatedRunsAccumulateState) {
+  auto engine = Make(GetParam());
+  engine->Load({});
+  std::vector<Operation> first = {{OpType::kWrite, EncodeU64(1), 11}};
+  std::vector<Operation> second = {{OpType::kWrite, EncodeU64(2), 22},
+                                   {OpType::kRead, EncodeU64(1), 0}};
+  engine->Run(first, RunConfig{});
+  const ExecutionResult r = engine->Run(second, RunConfig{});
+  EXPECT_EQ(r.reads_hit, 1u);  // sees the key written in the first run
+  EXPECT_EQ(engine->Lookup(EncodeU64(2)).value(), 22u);
+}
+
+TEST_P(EngineEdgeCases, LongKeys) {
+  auto engine = Make(GetParam());
+  const Key long_key = EncodeString(std::string(500, 'x') + "end");
+  engine->Load({{long_key, 7}});
+  std::vector<Operation> ops = {{OpType::kRead, long_key, 0},
+                                {OpType::kWrite, long_key, 8}};
+  const ExecutionResult r = engine->Run(ops, RunConfig{});
+  EXPECT_EQ(r.reads_hit, 1u);
+  EXPECT_EQ(engine->Lookup(long_key).value(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineEdgeCases,
+    ::testing::Values(EngineKind::kArt, EngineKind::kHeart,
+                      EngineKind::kSmart, EngineKind::kCuart,
+                      EngineKind::kDcartC, EngineKind::kDcart),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      return EngineName(info.param);
+    });
+
+}  // namespace
+}  // namespace dcart

@@ -1,0 +1,104 @@
+// Tests for the hash-index substrate (the Related-Work comparison point).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baselines/hash_index.h"
+#include "common/key_codec.h"
+#include "common/rng.h"
+
+namespace dcart::baselines {
+namespace {
+
+TEST(HashIndex, InsertGetUpdate) {
+  HashIndex h;
+  EXPECT_TRUE(h.Insert(EncodeU64(1), 10));
+  EXPECT_FALSE(h.Insert(EncodeU64(1), 11));
+  EXPECT_EQ(h.Get(EncodeU64(1)).value(), 11u);
+  EXPECT_FALSE(h.Get(EncodeU64(2)).has_value());
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(HashIndex, GrowsPastInitialCapacity) {
+  HashIndex h(16);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(h.Insert(EncodeU64(i), i * 2));
+  }
+  EXPECT_EQ(h.size(), 10000u);
+  EXPECT_GE(h.capacity(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(h.Get(EncodeU64(i)).value(), i * 2) << i;
+  }
+  // Load factor maintained => short probe chains.
+  EXPECT_LT(h.MeanProbeLength(), 4.0);
+}
+
+TEST(HashIndex, RemoveWithBackwardShift) {
+  HashIndex h(16);
+  SplitMix64 rng(5);
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t k = rng.NextBounded(3000);
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const std::uint64_t v = rng.Next();
+        h.Insert(EncodeU64(k), v);
+        model[k] = v;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(h.Remove(EncodeU64(k)), model.erase(k) > 0) << k;
+        break;
+      default: {
+        const auto got = h.Get(EncodeU64(k));
+        const auto it = model.find(k);
+        ASSERT_EQ(got.has_value(), it != model.end()) << k;
+        if (got) ASSERT_EQ(*got, it->second) << k;
+      }
+    }
+    ASSERT_EQ(h.size(), model.size());
+  }
+}
+
+TEST(HashIndex, StringKeys) {
+  HashIndex h;
+  h.Insert(EncodeString("alpha"), 1);
+  h.Insert(EncodeString("beta"), 2);
+  h.Insert(EncodeString("alphabet"), 3);
+  EXPECT_EQ(h.Get(EncodeString("alpha")).value(), 1u);
+  EXPECT_EQ(h.Get(EncodeString("alphabet")).value(), 3u);
+  EXPECT_TRUE(h.Remove(EncodeString("alpha")));
+  EXPECT_FALSE(h.Get(EncodeString("alpha")).has_value());
+  EXPECT_EQ(h.Get(EncodeString("alphabet")).value(), 3u);
+}
+
+TEST(HashIndex, RangeScanFindsExactlyTheRange) {
+  HashIndex h;
+  for (std::uint64_t i = 0; i < 1000; ++i) h.Insert(EncodeU64(i), i);
+  std::set<std::uint64_t> got;
+  h.RangeScanByFullSweep(EncodeU64(100), EncodeU64(199),
+                         [&got](KeyView k, art::Value) {
+                           got.insert(DecodeU64(k));
+                           return true;
+                         });
+  ASSERT_EQ(got.size(), 100u);
+  EXPECT_EQ(*got.begin(), 100u);
+  EXPECT_EQ(*got.rbegin(), 199u);
+}
+
+TEST(HashIndex, EmptyAndAbsent) {
+  HashIndex h;
+  EXPECT_FALSE(h.Get(EncodeU64(9)).has_value());
+  EXPECT_FALSE(h.Remove(EncodeU64(9)));
+  std::size_t n = 0;
+  h.RangeScanByFullSweep(EncodeU64(0), EncodeU64(100),
+                         [&n](KeyView, art::Value) {
+                           ++n;
+                           return true;
+                         });
+  EXPECT_EQ(n, 0u);
+}
+
+}  // namespace
+}  // namespace dcart::baselines

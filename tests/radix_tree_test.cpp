@@ -1,0 +1,104 @@
+// Tests for the traditional (non-adaptive) radix tree substrate.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "art/tree.h"
+#include "baselines/radix_tree.h"
+#include "common/key_codec.h"
+#include "common/rng.h"
+
+namespace dcart::baselines {
+namespace {
+
+TEST(RadixTree, InsertGetRemove) {
+  RadixTree t;
+  EXPECT_TRUE(t.Insert(EncodeString("abc"), 1));
+  EXPECT_FALSE(t.Insert(EncodeString("abc"), 2));  // update
+  EXPECT_EQ(t.Get(EncodeString("abc")).value(), 2u);
+  EXPECT_FALSE(t.Get(EncodeString("ab")).has_value());
+  EXPECT_TRUE(t.Remove(EncodeString("abc")));
+  EXPECT_FALSE(t.Remove(EncodeString("abc")));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RadixTree, MatchesModelUnderChurn) {
+  RadixTree t;
+  std::map<std::uint64_t, std::uint64_t> model;
+  SplitMix64 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.NextBounded(2000);
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const std::uint64_t v = rng.Next();
+        t.Insert(EncodeU64(k), v);
+        model[k] = v;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(t.Remove(EncodeU64(k)), model.erase(k) > 0);
+        break;
+      default: {
+        const auto got = t.Get(EncodeU64(k));
+        const auto it = model.find(k);
+        ASSERT_EQ(got.has_value(), it != model.end());
+        if (got) ASSERT_EQ(*got, it->second);
+      }
+    }
+    ASSERT_EQ(t.size(), model.size());
+  }
+}
+
+TEST(RadixTree, OrderedScanAgreesWithArt) {
+  RadixTree radix;
+  art::Tree art_tree;
+  SplitMix64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Key k = EncodeU64(rng.NextBounded(50000));
+    radix.Insert(k, 1);
+    art_tree.Insert(k, 1);
+  }
+  std::vector<std::uint64_t> a, b;
+  radix.Scan(EncodeU64(10000), EncodeU64(30000),
+             [&a](KeyView k, art::Value) {
+               a.push_back(DecodeU64(k));
+               return true;
+             });
+  art_tree.Scan(EncodeU64(10000), EncodeU64(30000),
+                [&b](KeyView k, art::Value) {
+                  b.push_back(DecodeU64(k));
+                  return true;
+                });
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+TEST(RadixTree, MemoryWasteOnSparseKeys) {
+  // The Fig. 1 claim in numbers: sparse 8-byte keys leave almost every
+  // child slot empty, and ART's structure is far smaller.
+  RadixTree radix;
+  art::Tree art_tree;
+  SplitMix64 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const Key k = EncodeU64(rng.Next());
+    radix.Insert(k, 1);
+    art_tree.Insert(k, 1);
+  }
+  const auto rm = radix.ComputeMemoryStats();
+  const auto am = art_tree.ComputeMemoryStats();
+  EXPECT_LT(rm.SlotUtilization(), 0.02);
+  EXPECT_GT(rm.node_bytes, 20 * am.internal_bytes);
+}
+
+TEST(RadixTree, RemovePrunesEmptyChains) {
+  RadixTree t;
+  t.Insert(EncodeString("deep/path/key"), 1);
+  const auto before = t.ComputeMemoryStats();
+  EXPECT_GT(before.nodes, 10u);
+  t.Remove(EncodeString("deep/path/key"));
+  const auto after = t.ComputeMemoryStats();
+  EXPECT_LE(after.nodes, 1u);  // only the root may remain
+}
+
+}  // namespace
+}  // namespace dcart::baselines

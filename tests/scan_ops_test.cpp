@@ -1,0 +1,152 @@
+// Range-scan operation support across every engine (the YCSB-E-style
+// extension): scans must return exactly the entries a sorted reference
+// returns, mixed with concurrent-point-op semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "baselines/cpu_engines.h"
+#include "baselines/cuart.h"
+#include "baselines/rowex_engine.h"
+#include "common/key_codec.h"
+#include "common/rng.h"
+#include "dcart/accelerator.h"
+#include "dcartc/dcartc.h"
+#include "workload/generators.h"
+
+namespace dcart {
+namespace {
+
+std::vector<std::unique_ptr<IndexEngine>> ScanEngines() {
+  std::vector<std::unique_ptr<IndexEngine>> engines;
+  engines.push_back(std::make_unique<baselines::ArtRowexEngine>());
+  engines.push_back(baselines::MakeArtOlcEngine());
+  engines.push_back(baselines::MakeSmartEngine());
+  engines.push_back(std::make_unique<baselines::CuartEngine>());
+  engines.push_back(std::make_unique<dcartc::DcartCEngine>());
+  engines.push_back(std::make_unique<accel::DcartEngine>());
+  return engines;
+}
+
+TEST(ScanOps, PureScanStreamReturnsExactEntryCounts) {
+  // Static tree (no writes): entry counts are exactly computable.
+  std::vector<std::pair<Key, art::Value>> items;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    items.emplace_back(EncodeU64(i * 2), i);  // even keys
+  }
+  std::map<Key, art::Value> model(items.begin(), items.end());
+
+  std::vector<Operation> ops;
+  SplitMix64 rng(3);
+  std::uint64_t expected_entries = 0;
+  for (int i = 0; i < 500; ++i) {
+    Operation op;
+    op.type = OpType::kScan;
+    op.key = EncodeU64(rng.NextBounded(4100));  // may start between keys
+    op.scan_count = 1 + static_cast<std::uint32_t>(rng.NextBounded(50));
+    auto it = model.lower_bound(op.key);
+    for (std::uint32_t k = 0; k < op.scan_count && it != model.end();
+         ++k, ++it) {
+      ++expected_entries;
+    }
+    ops.push_back(std::move(op));
+  }
+
+  for (auto& engine : ScanEngines()) {
+    SCOPED_TRACE(engine->name());
+    engine->Load(items);
+    const ExecutionResult r = engine->Run(ops, RunConfig{});
+    EXPECT_EQ(r.stats.scan_entries, expected_entries);
+    EXPECT_EQ(r.stats.operations, ops.size());
+    EXPECT_GT(r.seconds, 0.0);
+  }
+}
+
+TEST(ScanOps, MixedStreamStillLandsWritesCorrectly) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 3000;
+  cfg.num_ops = 10000;
+  cfg.write_ratio = 0.4;
+  cfg.scan_ratio = 0.2;
+  const Workload w = MakeWorkload(WorkloadKind::kIPGEO, cfg);
+  EXPECT_GT(w.NumScans(), 0u);
+  EXPECT_GT(w.NumWrites(), 0u);
+
+  std::map<Key, art::Value> final_state;
+  for (const auto& [k, v] : w.load_items) final_state[k] = v;
+  for (const Operation& op : w.ops) {
+    if (op.type == OpType::kWrite) final_state[op.key] = op.value;
+  }
+
+  for (auto& engine : ScanEngines()) {
+    SCOPED_TRACE(engine->name());
+    engine->Load(w.load_items);
+    const ExecutionResult r = engine->Run(w.ops, RunConfig{});
+    EXPECT_GT(r.stats.scan_entries, 0u);
+    std::size_t checked = 0;
+    for (const auto& [k, v] : final_state) {
+      if (++checked % 23 != 0) continue;
+      ASSERT_EQ(engine->Lookup(k).value(), v) << ToHex(k);
+    }
+  }
+}
+
+TEST(ScanOps, GeneratorHonorsScanRatio) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 2000;
+  cfg.num_ops = 40000;
+  cfg.write_ratio = 0.3;
+  cfg.scan_ratio = 0.25;
+  const Workload w = MakeWorkload(WorkloadKind::kRS, cfg);
+  EXPECT_NEAR(static_cast<double>(w.NumScans()) /
+                  static_cast<double>(w.ops.size()),
+              0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(w.NumWrites()) /
+                  static_cast<double>(w.ops.size()),
+              0.30, 0.02);
+  for (const Operation& op : w.ops) {
+    if (op.type == OpType::kScan) {
+      ASSERT_GE(op.scan_count, 1u);
+      ASSERT_LE(op.scan_count, cfg.max_scan_count);
+    }
+  }
+}
+
+TEST(ScanOps, CoreTreeScanFromIsUnbounded) {
+  art::Tree tree;
+  for (std::uint64_t i = 0; i < 100; ++i) tree.Insert(EncodeU64(i), i);
+  std::vector<std::uint64_t> got;
+  tree.ScanFrom(EncodeU64(95), [&got](KeyView k, art::Value) {
+    got.push_back(DecodeU64(k));
+    return true;
+  });
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{95, 96, 97, 98, 99}));
+}
+
+TEST(ScanOps, OlcAndRowexTracedScansAgree) {
+  baselines::OlcTree olc;
+  baselines::RowexTree rowex_tree;
+  sync::SyncStats stats;
+  SplitMix64 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const Key k = EncodeU64(rng.NextBounded(100000));
+    olc.Insert(k, 1, 0, stats);
+    rowex_tree.Insert(k, 1, 0, stats);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const Key start = EncodeU64(rng.NextBounded(100000));
+    std::vector<std::uint64_t> a, b;
+    olc.ScanTraced(start, 20, nullptr, [&a](KeyView k, art::Value) {
+      a.push_back(DecodeU64(k));
+    });
+    rowex_tree.ScanTraced(start, 20, nullptr, [&b](KeyView k, art::Value) {
+      b.push_back(DecodeU64(k));
+    });
+    ASSERT_EQ(a, b) << "start=" << DecodeU64(start);
+    ASSERT_TRUE(std::is_sorted(a.begin(), a.end()));
+  }
+}
+
+}  // namespace
+}  // namespace dcart

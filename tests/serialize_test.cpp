@@ -1,0 +1,128 @@
+// Tests for ART snapshot serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "art/serialize.h"
+#include "common/key_codec.h"
+#include "common/rng.h"
+
+namespace dcart::art {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Serialize, RoundTripRandomTree) {
+  Tree original;
+  SplitMix64 rng(9);
+  std::map<std::uint64_t, Value> model;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.Next();
+    model[k] = k ^ 0xabcd;
+    original.Insert(EncodeU64(k), k ^ 0xabcd);
+  }
+  const std::string path = TempPath("art_snapshot.bin");
+  ASSERT_TRUE(SaveTree(original, path));
+
+  Tree loaded;
+  ASSERT_TRUE(LoadTree(path, loaded));
+  EXPECT_EQ(loaded.size(), original.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(loaded.Get(EncodeU64(k)).value(), v) << k;
+  }
+  // The reloaded tree is mutable as usual.
+  EXPECT_TRUE(loaded.Insert(EncodeString("fresh"), 1));
+  EXPECT_TRUE(loaded.Remove(EncodeU64(model.begin()->first)));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RoundTripStringKeysAndEmptyTree) {
+  Tree original;
+  original.Insert(EncodeString("alpha"), 1);
+  original.Insert(EncodeString("alphabet"), 2);
+  original.Insert(EncodeString(std::string(40, 'z') + "deep"), 3);
+  const std::string path = TempPath("art_snapshot_str.bin");
+  ASSERT_TRUE(SaveTree(original, path));
+  Tree loaded;
+  ASSERT_TRUE(LoadTree(path, loaded));
+  EXPECT_EQ(loaded.Get(EncodeString("alphabet")).value(), 2u);
+  EXPECT_EQ(loaded.Get(EncodeString(std::string(40, 'z') + "deep")).value(),
+            3u);
+  std::remove(path.c_str());
+
+  Tree empty, loaded_empty;
+  const std::string empty_path = TempPath("art_snapshot_empty.bin");
+  ASSERT_TRUE(SaveTree(empty, empty_path));
+  ASSERT_TRUE(LoadTree(empty_path, loaded_empty));
+  EXPECT_TRUE(loaded_empty.empty());
+  std::remove(empty_path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageAndUnsortedStreams) {
+  Tree out;
+  EXPECT_FALSE(LoadTree("/nonexistent/snapshot.bin", out));
+  const std::string path = TempPath("art_snapshot_bad.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage header here", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadTree(path, out));
+  EXPECT_TRUE(out.empty());
+  // Valid magic, bogus huge count -> truncated read must fail cleanly.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("DCARTSN1", 1, 8, f);
+    const std::uint64_t count = 1'000'000;
+    std::fwrite(&count, sizeof count, 1, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadTree(path, out));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadedTreeIsCanonical) {
+  // Two trees with the same content but different insertion orders produce
+  // byte-identical snapshots.
+  SplitMix64 rng(17);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 3000; ++i) keys.push_back(rng.Next());
+  Tree a, b;
+  for (auto k : keys) a.Insert(EncodeU64(k), k);
+  Shuffle(keys, rng);
+  for (auto k : keys) b.Insert(EncodeU64(k), k);
+
+  const std::string pa = TempPath("snap_a.bin");
+  const std::string pb = TempPath("snap_b.bin");
+  ASSERT_TRUE(SaveTree(a, pa));
+  ASSERT_TRUE(SaveTree(b, pb));
+  std::FILE* fa = std::fopen(pa.c_str(), "rb");
+  std::FILE* fb = std::fopen(pb.c_str(), "rb");
+  ASSERT_NE(fa, nullptr);
+  ASSERT_NE(fb, nullptr);
+  char ba[4096], bb[4096];
+  bool same = true;
+  for (;;) {
+    const std::size_t na = std::fread(ba, 1, sizeof ba, fa);
+    const std::size_t nb = std::fread(bb, 1, sizeof bb, fb);
+    if (na != nb || std::memcmp(ba, bb, na) != 0) {
+      same = false;
+      break;
+    }
+    if (na == 0) break;
+  }
+  std::fclose(fa);
+  std::fclose(fb);
+  EXPECT_TRUE(same);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+}  // namespace
+}  // namespace dcart::art
