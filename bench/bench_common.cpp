@@ -4,11 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
-#include "baselines/cpu_engines.h"
-#include "baselines/cuart.h"
-#include "baselines/rowex_engine.h"
-#include "dcart/accelerator.h"
-#include "dcartc/dcartc.h"
+#include "baselines/registry.h"
 
 namespace dcart::bench {
 
@@ -17,17 +13,12 @@ std::vector<std::string> EngineNames() {
 }
 
 std::unique_ptr<IndexEngine> MakeEngine(const std::string& name) {
-  // "ART" is the ROWEX-backed baseline, the protocol the paper cites; the
-  // OLC-backed variant remains available as "ART-OLC".
-  if (name == "ART") return std::make_unique<baselines::ArtRowexEngine>();
-  if (name == "ART-OLC") return baselines::MakeArtOlcEngine();
-  if (name == "Heart") return baselines::MakeHeartEngine();
-  if (name == "SMART") return baselines::MakeSmartEngine();
-  if (name == "CuART") return std::make_unique<baselines::CuartEngine>();
-  if (name == "DCART-C") return std::make_unique<dcartc::DcartCEngine>();
-  if (name == "DCART") return std::make_unique<accel::DcartEngine>();
-  std::fprintf(stderr, "unknown engine '%s'\n", name.c_str());
-  std::abort();
+  auto engine = dcart::MakeEngine(name);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+    std::abort();
+  }
+  return engine;
 }
 
 WorkloadConfig ConfigFromFlags(const CliFlags& flags) {
@@ -43,7 +34,7 @@ WorkloadConfig ConfigFromFlags(const CliFlags& flags) {
 RunConfig RunFromFlags(const CliFlags& flags) {
   RunConfig run;
   run.inflight_ops = static_cast<std::size_t>(flags.GetInt("inflight", 4096));
-  run.threads = static_cast<std::size_t>(flags.GetInt("threads", 96));
+  run.cpu.threads = static_cast<std::size_t>(flags.GetInt("threads", 96));
   run.batch_size = static_cast<std::size_t>(flags.GetInt("batch", 8192));
   return run;
 }

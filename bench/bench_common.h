@@ -26,11 +26,13 @@
 
 namespace dcart::bench {
 
-/// All evaluated engines in the paper's presentation order.
+/// The engines the paper-figure benches sweep, in presentation order (a
+/// subset of dcart::ListEngines(): the wall-clock DCART-CP engine is
+/// measured by bench/wallclock_ctt, not the modeled figures).
 std::vector<std::string> EngineNames();
 
-/// Instantiate a fresh engine by name ("ART", "Heart", "SMART", "CuART",
-/// "DCART-C", "DCART").  Terminates on unknown names (bench bug).
+/// Instantiate a fresh engine with default (paper) options via the central
+/// registry (see baselines/registry.h).  Terminates on unknown names.
 std::unique_ptr<IndexEngine> MakeEngine(const std::string& name);
 
 /// Workload configuration derived from the common flags.

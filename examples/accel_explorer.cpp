@@ -8,6 +8,7 @@
 // committing to a configuration like the paper's Table I.
 #include <cstdio>
 
+#include "baselines/registry.h"
 #include "common/cli.h"
 #include "dcart/accelerator.h"
 #include "dcart/report.h"
@@ -35,20 +36,23 @@ int main(int argc, char** argv) {
 
   for (std::size_t sous : {4u, 8u, 16u, 32u}) {
     for (std::size_t buf_kb : {512u, 4096u, 16384u}) {
-      simhw::FpgaModel model;
-      model.tree_buffer_bytes = buf_kb * 1024;
-      accel::DcartConfig config;
-      config.num_sous = sous;
-      config.num_buckets = std::max<std::size_t>(16, sous);
-      accel::DcartEngine engine(config, model);
-      engine.Load(w.load_items);
-      const ExecutionResult r = engine.Run(w.ops, RunConfig{});
-      const auto est = accel::EstimateResources(config, model);
+      EngineOptions options;
+      options.fpga_model.tree_buffer_bytes = buf_kb * 1024;
+      options.dcart.num_sous = sous;
+      options.dcart.num_buckets = std::max<std::size_t>(16, sous);
+      auto engine = MakeEngine("DCART", options);
+      engine->Load(w.load_items);
+      const ExecutionResult r = engine->Run(w.ops, RunConfig{});
+      const auto est =
+          accel::EstimateResources(options.dcart, options.fpga_model);
+      // The buffer report is DCART-specific, so reach through the facade.
+      const auto& dcart =
+          static_cast<const accel::DcartEngine&>(*engine);
       std::printf("%5zu %8zu K %10.1f %10.3f %8.1f%% %8.1f%%\n", sous,
                   buf_kb, r.ThroughputOpsPerSec() / 1e6,
                   r.energy_joules / static_cast<double>(cfg.num_ops) * 1e6,
                   est.lut_utilization * 100,
-                  engine.last_buffer_report().tree_buffer_hit_rate * 100);
+                  dcart.last_buffer_report().tree_buffer_hit_rate * 100);
     }
   }
 

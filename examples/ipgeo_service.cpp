@@ -9,10 +9,9 @@
 // and energy per million requests.
 #include <cstdio>
 
-#include "baselines/cpu_engines.h"
+#include "baselines/registry.h"
 #include "common/cli.h"
 #include "common/key_codec.h"
-#include "dcart/accelerator.h"
 #include "workload/generators.h"
 
 using namespace dcart;
@@ -50,13 +49,13 @@ int main(int argc, char** argv) {
   run.collect_latency = true;
 
   std::printf("\nserving the request stream:\n");
-  auto smart = baselines::MakeSmartEngine();
+  auto smart = MakeEngine("SMART");
   smart->Load(workload.load_items);
   Report("SMART (CPU)", smart->Run(workload.ops, run), cfg.num_ops);
 
-  accel::DcartEngine dcart;
-  dcart.Load(workload.load_items);
-  const ExecutionResult accel_result = dcart.Run(workload.ops, run);
+  auto dcart = MakeEngine("DCART");
+  dcart->Load(workload.load_items);
+  const ExecutionResult accel_result = dcart->Run(workload.ops, run);
   Report("DCART (FPGA)", accel_result, cfg.num_ops);
 
   // Show a few concrete lookups through the public API.
@@ -64,7 +63,7 @@ int main(int argc, char** argv) {
   std::size_t shown = 0;
   for (const auto& [key, value] : workload.load_items) {
     if (shown >= 5) break;
-    if (const auto country = dcart.Lookup(key)) {
+    if (const auto country = dcart->Lookup(key)) {
       std::printf("  %-15s -> %s\n", FormatIPv4(key).c_str(),
                   kCountries[*country % std::size(kCountries)]);
       ++shown;

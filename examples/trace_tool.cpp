@@ -11,11 +11,8 @@
 #include <memory>
 #include <string>
 
-#include "baselines/cpu_engines.h"
-#include "baselines/cuart.h"
+#include "baselines/registry.h"
 #include "common/cli.h"
-#include "dcart/accelerator.h"
-#include "dcartc/dcartc.h"
 #include "workload/generators.h"
 #include "workload/trace_io.h"
 
@@ -31,16 +28,6 @@ int Usage() {
                "  trace_tool info <in.trc>\n"
                "  trace_tool run  <in.trc> [--engine=DCART]\n");
   return 1;
-}
-
-std::unique_ptr<IndexEngine> MakeEngineByName(const std::string& name) {
-  if (name == "ART") return baselines::MakeArtOlcEngine();
-  if (name == "Heart") return baselines::MakeHeartEngine();
-  if (name == "SMART") return baselines::MakeSmartEngine();
-  if (name == "CuART") return std::make_unique<baselines::CuartEngine>();
-  if (name == "DCART-C") return std::make_unique<dcartc::DcartCEngine>();
-  if (name == "DCART") return std::make_unique<accel::DcartEngine>();
-  return nullptr;
 }
 
 }  // namespace
@@ -99,15 +86,20 @@ int main(int argc, char** argv) {
 
   if (command == "run") {
     const std::string engine_name = flags.GetString("engine", "DCART");
-    auto engine = MakeEngineByName(engine_name);
+    auto engine = MakeEngine(engine_name);
     if (!engine) {
-      std::fprintf(stderr, "unknown engine %s\n", engine_name.c_str());
+      std::fprintf(stderr, "unknown engine %s (try one of:", engine_name.c_str());
+      for (const std::string& n : ListEngines()) {
+        std::fprintf(stderr, " %s", n.c_str());
+      }
+      std::fprintf(stderr, ")\n");
       return 1;
     }
     engine->Load(w.load_items);
     const ExecutionResult r = engine->Run(w.ops, RunConfig{});
-    std::printf("%s on %s: %.3f ms modeled, %.2f Mops/s, %.4f J\n",
+    std::printf("%s on %s: %.3f ms %s, %.2f Mops/s, %.4f J\n",
                 engine->name().c_str(), w.name.c_str(), r.seconds * 1e3,
+                r.wallclock ? "wall-clock" : "modeled",
                 r.ThroughputOpsPerSec() / 1e6, r.energy_joules);
     std::printf("stats: %s\n", r.stats.ToString().c_str());
     return 0;

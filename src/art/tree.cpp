@@ -76,9 +76,14 @@ bool Tree::Insert(KeyView key, Value value) {
     return true;
   }
   if (stats_) ++stats_->operations;
+  const bool inserted = InsertInSubtree(&root_, 0, key, value);
+  if (inserted) ++size_;
+  return inserted;
+}
 
-  NodeRef* slot = &root_;
-  std::size_t depth = 0;
+bool Tree::InsertInSubtree(NodeRef* slot, std::size_t depth, KeyView key,
+                           Value value, Leaf** out_leaf) {
+  assert(!slot->IsNull() && "InsertInSubtree requires a non-empty subtree");
   for (;;) {
     const NodeRef cur = *slot;
     NoteVisit(cur);
@@ -88,6 +93,7 @@ bool Tree::Insert(KeyView key, Value value) {
       if (stats_) ++stats_->leaf_accesses;
       if (KeysEqual(leaf->key, key)) {
         leaf->value = value;
+        if (out_leaf) *out_leaf = leaf;
         return false;
       }
       // Split this leaf: a new N4 holds the common prefix and both leaves.
@@ -98,10 +104,11 @@ bool Tree::Insert(KeyView key, Value value) {
              "stored keys must be prefix-free");
       auto* branch = new Node4;
       SetPrefixFromKey(branch, key, depth, static_cast<std::uint32_t>(lcp));
-      AddChild(branch, key[depth + lcp], NodeRef::FromLeaf(NewLeaf(key, value)));
+      Leaf* new_leaf = NewLeaf(key, value);
+      AddChild(branch, key[depth + lcp], NodeRef::FromLeaf(new_leaf));
       AddChild(branch, leaf_key[depth + lcp], cur);
       *slot = NodeRef::FromNode(branch);
-      ++size_;
+      if (out_leaf) *out_leaf = new_leaf;
       return true;
     }
 
@@ -118,11 +125,11 @@ bool Tree::Insert(KeyView key, Value value) {
       const std::uint8_t node_byte = min_leaf->key[depth + mismatch];
       SetPrefixFromKey(node, min_leaf->key, depth + mismatch + 1,
                        node->prefix_len - mismatch - 1);
-      AddChild(branch, key[depth + mismatch],
-               NodeRef::FromLeaf(NewLeaf(key, value)));
+      Leaf* new_leaf = NewLeaf(key, value);
+      AddChild(branch, key[depth + mismatch], NodeRef::FromLeaf(new_leaf));
       AddChild(branch, node_byte, cur);
       *slot = NodeRef::FromNode(branch);
-      ++size_;
+      if (out_leaf) *out_leaf = new_leaf;
       return true;
     }
 
@@ -140,8 +147,9 @@ bool Tree::Insert(KeyView key, Value value) {
         DeleteNode(node);
         node = grown;
       }
-      AddChild(node, b, NodeRef::FromLeaf(NewLeaf(key, value)));
-      ++size_;
+      Leaf* new_leaf = NewLeaf(key, value);
+      AddChild(node, b, NodeRef::FromLeaf(new_leaf));
+      if (out_leaf) *out_leaf = new_leaf;
       return true;
     }
     slot = child_slot;
@@ -157,8 +165,11 @@ std::optional<Value> Tree::Get(KeyView key) const {
 
 Leaf* Tree::FindLeaf(KeyView key) const {
   if (stats_) ++stats_->operations;
-  NodeRef ref = root_;
-  std::size_t depth = 0;
+  return FindLeafInSubtree(root_, 0, key);
+}
+
+Leaf* Tree::FindLeafInSubtree(NodeRef ref, std::size_t depth,
+                              KeyView key) const {
   while (!ref.IsNull()) {
     NoteVisit(ref);
     if (ref.IsLeaf()) {
@@ -197,9 +208,13 @@ bool Tree::Remove(KeyView key) {
     size_ = 0;
     return true;
   }
+  const bool removed = RemoveInSubtree(&root_, 0, key);
+  if (removed) --size_;
+  return removed;
+}
 
-  NodeRef* slot = &root_;
-  std::size_t depth = 0;
+bool Tree::RemoveInSubtree(NodeRef* slot, std::size_t depth, KeyView key) {
+  assert(slot->IsNode() && "RemoveInSubtree requires an internal-node root");
   for (;;) {
     Node* node = slot->AsNode();
     NoteVisit(*slot);
@@ -223,7 +238,6 @@ bool Tree::Remove(KeyView key) {
       if (!KeysEqual(leaf->key, key)) return false;
       delete leaf;
       RemoveChild(node, b);
-      --size_;
 
       if (node->type == NodeType::kN4 && node->count == 1) {
         // Merge a single-child N4 into its child, concatenating the paths:

@@ -62,6 +62,42 @@ class Tree {
   /// Insert or update.  Returns true iff the key was newly inserted.
   bool Insert(KeyView key, Value value);
 
+  // --- Subtree-scoped operations -------------------------------------------
+  //
+  // The parallel CTT runtime (DCART-CP) shards a batch by root branch byte
+  // and lets each worker mutate one root-child subtree.  These entry points
+  // expose Insert/Remove/FindLeaf scoped to a subtree rooted at `slot` (the
+  // memory location holding the subtree's NodeRef, i.e. a child entry of the
+  // root node) with `depth` bytes of the key already consumed above it.
+  //
+  // They deliberately do NOT touch `size_` or bump `stats_->operations`
+  // (callers aggregate per-worker deltas and apply them via AdjustSize), and
+  // they never modify any node above `slot` — which is what makes concurrent
+  // calls on disjoint subtrees safe as long as `stats_`/`observer_` are
+  // detached.  Operations that would need to restructure the parent (a new
+  // root child, deleting a subtree's last key) are the caller's job.
+
+  /// Insert or update within the subtree at `*slot`.  Precondition: `*slot`
+  /// is non-null.  Returns true iff newly inserted; `out_leaf`, if given,
+  /// receives the leaf now holding `key`.
+  bool InsertInSubtree(NodeRef* slot, std::size_t depth, KeyView key,
+                       Value value, Leaf** out_leaf = nullptr);
+
+  /// Remove within the subtree at `*slot`.  Precondition: `*slot` is an
+  /// internal node (a leaf-rooted subtree collapse must restructure the
+  /// parent, so the caller handles it).  Returns true iff the key existed.
+  bool RemoveInSubtree(NodeRef* slot, std::size_t depth, KeyView key);
+
+  /// Point lookup within the subtree at `ref` (`depth` key bytes consumed).
+  Leaf* FindLeafInSubtree(NodeRef ref, std::size_t depth, KeyView key) const;
+
+  /// Apply a net size delta computed externally (per-worker insert/remove
+  /// counts from subtree-scoped mutations).
+  void AdjustSize(std::ptrdiff_t delta) {
+    size_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(size_) + delta);
+  }
+
   /// Point lookup.
   std::optional<Value> Get(KeyView key) const;
 

@@ -88,6 +88,15 @@ ExecutionResult CpuEngine::Run(std::span<const Operation> ops,
         tracer.SyncPoint(reinterpret_cast<std::uintptr_t>(leaf), false);
       }
       if (leaf != nullptr) ++result.reads_hit;
+    } else if (op.type == OpType::kRemove) {
+      // Deletes pay the same traced descent as a read, then the structural
+      // removal itself (untraced: the platform model prices the traversal
+      // and the write synchronization, which dominate).
+      CLeaf* leaf = TracedFind(op.key, tracer, &last_internal);
+      if (leaf != nullptr) {
+        tracer.SyncPoint(reinterpret_cast<std::uintptr_t>(leaf), true);
+        tree_.Remove(op.key, /*tid=*/0, scratch);
+      }
     } else if (protocol_.cas_leaf_updates) {
       CLeaf* leaf = TracedFind(op.key, tracer, &last_internal);
       if (leaf != nullptr) {
@@ -101,7 +110,7 @@ ExecutionResult CpuEngine::Run(std::span<const Operation> ops,
       tree_.Insert(op.key, op.value, /*tid=*/0, scratch, &tracer,
                    /*cas_leaf_updates=*/false);
     }
-    tracer.EndOp(config.inflight_ops, config.threads, latency);
+    tracer.EndOp(config.inflight_ops, config.cpu.threads, latency);
   }
 
   if (protocol_.use_path_cache) {
@@ -111,8 +120,14 @@ ExecutionResult CpuEngine::Run(std::span<const Operation> ops,
   }
 
   result.seconds = CpuSeconds(model_, tracer.parallel_cycles(),
-                              tracer.serial_cycles(), config.threads);
+                              tracer.serial_cycles(), config.cpu.threads);
   result.energy_joules = result.seconds * model_.power_watts;
+  // No combine stage: traverse = the parallelizable descent work, trigger =
+  // the serialized synchronization tail.
+  result.phase_breakdown.traverse_seconds =
+      tracer.parallel_cycles() / model_.frequency_hz;
+  result.phase_breakdown.trigger_seconds =
+      tracer.serial_cycles() / model_.frequency_hz;
   return result;
 }
 
@@ -133,6 +148,8 @@ double CpuEngine::RunThreaded(std::span<const Operation> ops,
           if (op.type == OpType::kWrite) {
             tree_.Insert(op.key, op.value, t, local, nullptr,
                          protocol_.cas_leaf_updates);
+          } else if (op.type == OpType::kRemove) {
+            tree_.Remove(op.key, t, local);
           } else {
             // Reads; scans degrade to a start-key probe in the real-thread
             // mode (the traced single-thread mode measures full scans).

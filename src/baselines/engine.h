@@ -22,24 +22,77 @@
 
 namespace dcart {
 
+/// Platform-specific run knobs.  Common knobs (batching, concurrency window)
+/// live directly in RunConfig; anything only one platform model interprets
+/// lives in its sub-struct so adding a knob never widens every engine's
+/// surface again.
+struct CpuRunOptions {
+  /// Logical worker threads for the CPU platform *model* (the paper's
+  /// 2x48-core Xeon).  Modeled engines spread parallelizable cycles over
+  /// this many workers; it is not a real thread count.
+  std::size_t threads = 96;
+  /// Real std::thread workers for wall-clock engines (DCART-CP).
+  /// 0 means "use the host's hardware concurrency".
+  std::size_t wall_threads = 0;
+};
+
+struct GpuRunOptions {
+  /// Overlap the PCIe batch transfer with device execution (double
+  /// buffering).  Off by default: the paper's CuART numbers are modeled
+  /// with synchronous transfers.
+  bool overlap_transfer = false;
+};
+
+struct FpgaRunOptions {
+  /// Run-time override of DcartConfig::overlap_pcu_sou (Fig. 6 batch
+  /// pipelining); unset inherits the engine's construction-time setting.
+  std::optional<bool> overlap_pcu_sou;
+};
+
 struct RunConfig {
   /// Operations concurrently in flight (the concurrency level the paper
   /// sweeps in Fig. 2(d) and Fig. 12(a)); also the conflict-window size.
   std::size_t inflight_ops = 1024;
-  /// Logical worker threads for the CPU platform model.
-  std::size_t threads = 96;
   /// Batch size for batch-oriented engines (CuART sort batches, DCART's
-  /// PCU/SOU batches).
+  /// PCU/SOU batches, DCART-CP shard batches).
   std::size_t batch_size = 8192;
   /// Collect modeled per-operation latencies (Fig. 10).
   bool collect_latency = false;
+
+  CpuRunOptions cpu;
+  GpuRunOptions gpu;
+  FpgaRunOptions fpga;
+};
+
+/// Where an engine's time went, in CTT phase terms.  For the CTT engines the
+/// mapping is exact (Combine = PCU/bucketing, Traverse = shortcut probe +
+/// index descent, Trigger = applying ops + synchronization); the baselines
+/// report their closest equivalent (no combine stage; traverse = the
+/// parallelizable descent work, trigger = serialized synchronization).
+/// Values are *aggregate attributed time* (summed over units/workers), not
+/// pipelined makespan — they explain where cycles went, `seconds` says how
+/// long the run took.
+struct PhaseBreakdown {
+  double combine_seconds = 0.0;
+  double traverse_seconds = 0.0;
+  double trigger_seconds = 0.0;
+  double other_seconds = 0.0;  // launch/transfer overheads, host sync
+
+  double Total() const {
+    return combine_seconds + traverse_seconds + trigger_seconds +
+           other_seconds;
+  }
 };
 
 struct ExecutionResult {
   OpStats stats;
-  double seconds = 0.0;        // modeled platform execution time
-  double energy_joules = 0.0;  // modeled platform energy
+  double seconds = 0.0;        // platform execution time (see `wallclock`)
+  double energy_joules = 0.0;  // modeled platform energy (0 if unmodeled)
   std::string platform;        // "cpu" | "gpu" | "fpga"
+  /// False: `seconds` comes from the deterministic platform model.
+  /// True: `seconds` is host wall-clock time (DCART-CP's real threads).
+  bool wallclock = false;
+  PhaseBreakdown phase_breakdown;
   LatencyHistogram latency_ns;
   std::uint64_t reads_hit = 0;  // reads that found their key (sanity check)
 

@@ -75,7 +75,7 @@ void OlcTree::BulkLoad(const std::vector<std::pair<Key, art::Value>>& items) {
 }
 
 void OlcTree::Retire(std::size_t tid, CNode* node) {
-  epochs_->set_defer(defer_reclamation_);
+  epochs_->set_defer(defer_reclamation_.load(std::memory_order_relaxed));
   epochs_->Retire(tid, [node] { CDeleteNode(node); });
 }
 

@@ -111,7 +111,9 @@ class OlcTree {
 
   /// Defer all node reclamation until DrainReclamation(); required while
   /// engines hold cross-operation node pointers (SMART's path cache).
-  void set_defer_reclamation(bool defer) { defer_reclamation_ = defer; }
+  void set_defer_reclamation(bool defer) {
+    defer_reclamation_.store(defer, std::memory_order_relaxed);
+  }
   void DrainReclamation() { epochs_->DrainAll(); }
 
  private:
@@ -132,7 +134,7 @@ class OlcTree {
   mutable std::atomic<std::uintptr_t> root_{0};
   std::atomic<std::size_t> size_{0};
   std::unique_ptr<sync::EpochManager> epochs_;
-  bool defer_reclamation_ = false;
+  std::atomic<bool> defer_reclamation_{false};
 };
 
 /// Average key-array slots examined by a child search (cost-model input).

@@ -1,0 +1,48 @@
+// Central engine registry: the one place that knows how to construct every
+// evaluated system by name.
+//
+// Benchmarks, examples, and tests ask for engines through MakeEngine()
+// instead of spelling out constructors, so adding an engine (or a
+// construction knob) touches this file only.  Registered names:
+//
+//   "ART"      — ROWEX-backed CPU baseline (the paper's ART citation)
+//   "ART-OLC"  — optimistic-lock-coupling CPU baseline
+//   "Heart"    — CAS-based CPU baseline
+//   "SMART"    — CAS + compact nodes + path cache CPU baseline
+//   "CuART"    — GPU batch-sort model
+//   "DCART-C"  — software CTT, modeled on the paper's Xeon
+//   "DCART-CP" — software CTT on real threads, wall-clock measured
+//   "DCART"    — the FPGA accelerator simulator
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/engine.h"
+#include "dcart/config.h"
+#include "dcartc/dcartc.h"
+#include "dcartc/parallel_runtime.h"
+#include "simhw/timing_model.h"
+
+namespace dcart {
+
+/// Construction-time knobs.  Defaults reproduce the paper's configuration;
+/// each engine reads only the fields that concern it.
+struct EngineOptions {
+  simhw::CpuModel cpu_model;    // CPU baselines, DCART-C
+  simhw::GpuModel gpu_model;    // CuART
+  simhw::FpgaModel fpga_model;  // DCART
+  dcartc::DcartCConfig dcartc;  // DCART-C ablations
+  dcartc::DcartCpConfig dcartcp;  // DCART-CP ablations
+  accel::DcartConfig dcart;     // DCART ablations
+};
+
+/// Instantiate a fresh engine by registered name; nullptr if unknown.
+std::unique_ptr<IndexEngine> MakeEngine(const std::string& name,
+                                        const EngineOptions& options = {});
+
+/// Every registered name, in the paper's presentation order.
+std::vector<std::string> ListEngines();
+
+}  // namespace dcart

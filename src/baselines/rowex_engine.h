@@ -25,6 +25,12 @@ class ArtRowexEngine : public IndexEngine {
                       const RunConfig& config) override;
   std::optional<art::Value> Lookup(KeyView key) const override;
 
+  /// Execute the stream with real std::threads against the ROWEX tree and
+  /// return measured wall-clock seconds (same round-robin client semantics
+  /// as CpuEngine::RunThreaded).
+  double RunThreaded(std::span<const Operation> ops, std::size_t num_threads,
+                     OpStats& stats);
+
   RowexTree& tree() { return tree_; }
 
  private:

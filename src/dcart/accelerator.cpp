@@ -61,6 +61,8 @@ ExecutionResult DcartEngine::Run(std::span<const Operation> ops,
 
   const std::size_t batch_size =
       std::max<std::size_t>(1, run_config.batch_size);
+  const bool overlap_pcu_sou =
+      run_config.fpga.overlap_pcu_sou.value_or(config_.overlap_pcu_sou);
   const std::size_t buckets_n = std::max<std::size_t>(1, config_.num_buckets);
   const unsigned prefix_shift =
       config_.prefix_bits >= 8 ? 0 : (8 - config_.prefix_bits);
@@ -154,7 +156,7 @@ ExecutionResult DcartEngine::Run(std::span<const Operation> ops,
 
     // -------------------------------------------------- pipeline timing ---
     double batch_complete;
-    if (config_.overlap_pcu_sou) {
+    if (overlap_pcu_sou) {
       const double pcu_start = pcu_done;  // PCU is free after previous batch
       pcu_done = pcu_start + pcu_cycles;
       const double sou_start = std::max(pcu_done, sou_done);
@@ -171,7 +173,7 @@ ExecutionResult DcartEngine::Run(std::span<const Operation> ops,
       // An operation's modeled latency is its batch residence time:
       // combining + waiting for the SOU stage + processing.
       const double arrival =
-          config_.overlap_pcu_sou ? pcu_done - pcu_cycles : pcu_done;
+          overlap_pcu_sou ? pcu_done - pcu_cycles : pcu_done;
       const double ns =
           (batch_complete - arrival) / model_.frequency_hz * 1e9;
       latency->RecordMany(static_cast<std::uint64_t>(ns), n);
@@ -181,6 +183,14 @@ ExecutionResult DcartEngine::Run(std::span<const Operation> ops,
   const double total_cycles = std::max(pcu_done, sou_done);
   result.seconds = total_cycles / model_.frequency_hz;
   result.energy_joules = result.seconds * model_.power_watts;
+  result.phase_breakdown.combine_seconds =
+      total_pcu_cycles / model_.frequency_hz;
+  result.phase_breakdown.traverse_seconds =
+      (breakdown.shortcut_probe + breakdown.buffer_hits +
+       breakdown.hbm_stalls + breakdown.matching) /
+      model_.frequency_hz;
+  result.phase_breakdown.trigger_seconds =
+      (breakdown.trigger + breakdown.contention) / model_.frequency_hz;
 
   buffer_report_.tree_buffer_hit_rate = tree_buffer.HitRate();
   buffer_report_.shortcut_buffer_hit_rate = shortcut_buffer.HitRate();

@@ -176,7 +176,8 @@ double Sou::ProcessBucket(std::span<const Operation> ops,
     ++stats.lock_acquisitions;
     bool group_writes = false;
     for (std::uint32_t idx : members) {
-      group_writes |= ops[idx].type == OpType::kWrite;
+      group_writes |= ops[idx].type == OpType::kWrite ||
+                      ops[idx].type == OpType::kRemove;
     }
     const std::uintptr_t sync_id =
         leaf != nullptr ? reinterpret_cast<std::uintptr_t>(leaf) : key_hash;
@@ -205,6 +206,19 @@ double Sou::ProcessBucket(std::span<const Operation> ops,
         local_cycles_ += static_cast<double>(entries);
       } else if (op.type == OpType::kRead) {
         if (leaf != nullptr) ++*s_.reads_hit;
+      } else if (op.type == OpType::kRemove) {
+        if (leaf != nullptr) {
+          // Drop the shortcut entry *before* the leaf is reclaimed so the
+          // table never holds a dangling pointer (the probe above
+          // dereferences stored leaves unconditionally).
+          if (s_.config->use_shortcuts &&
+              s_.shortcut_table->erase(key_hash) > 0) {
+            AccessShortcutSlot(key_hash, /*is_write=*/true);
+            ++stats.shortcut_invalidations;
+          }
+          s_.tree->Remove(op.key);  // observer charges the walk
+          leaf = nullptr;
+        }
       } else if (leaf != nullptr) {
         leaf->value = op.value;
         dirty = true;

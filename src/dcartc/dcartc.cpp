@@ -109,6 +109,9 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
   shortcuts_.clear();
 
   double total_seconds = 0.0;
+  double combine_total = 0.0;
+  double traverse_total = 0.0;
+  double trigger_total = 0.0;
   LatencyHistogram* latency =
       config.collect_latency ? &result.latency_ns : nullptr;
 
@@ -162,8 +165,10 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
       for (std::uint32_t idx : buckets[b]) {
         groups[HashKey(ops[idx].key)].push_back(idx);
       }
-      bucket_cycles[b] += static_cast<double>(buckets[b].size()) *
-                          kGroupHashCyclesPerOp;
+      const double group_hash_cycles =
+          static_cast<double>(buckets[b].size()) * kGroupHashCyclesPerOp;
+      bucket_cycles[b] += group_hash_cycles;
+      combine_total += group_hash_cycles;
 
       for (auto& [key_hash, members] : groups) {
         const Operation& first = ops[members.front()];
@@ -172,16 +177,24 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
 
         // -- Traverse: shortcut table first, tree walk on miss.
         art::Leaf* leaf = nullptr;
-        bucket_cycles[b] += kShortcutProbeCycles;
+        double traverse_cycles = kShortcutProbeCycles;
         observer.Touch(kShortcutTableBase +
                            (key_hash % kShortcutSlots) * kShortcutEntryBytes,
                        kShortcutEntryBytes);
         if (config_.use_shortcuts) {
           const auto it = shortcuts_.find(key_hash);
-          if (it != shortcuts_.end() && KeysEqual(it->second->key, first.key)) {
-            leaf = it->second;
-            ++result.stats.shortcut_hits;
-            observer.OnNodeVisit(art::NodeRef::FromLeaf(leaf));
+          if (it != shortcuts_.end()) {
+            if (KeysEqual(it->second->key, first.key)) {
+              leaf = it->second;
+              ++result.stats.shortcut_hits;
+              observer.OnNodeVisit(art::NodeRef::FromLeaf(leaf));
+            } else {
+              // Stale entry (a colliding key hash): drop it so the table
+              // never serves a mismatched leaf twice.  Entries for removed
+              // keys are erased eagerly in the kRemove path below, so the
+              // stored pointer is always safe to dereference here.
+              shortcuts_.erase(it);
+            }
           }
         }
         if (leaf == nullptr) {
@@ -195,6 +208,15 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
                            kShortcutEntryBytes);
           }
         }
+        {
+          std::uint64_t lines = 0, misses = 0;
+          observer.Take(lines, misses);
+          traverse_cycles +=
+              static_cast<double>(lines - misses) * model_.cycles_llc_hit +
+              static_cast<double>(misses) * model_.cycles_dram_miss;
+        }
+        bucket_cycles[b] += traverse_cycles;
+        traverse_total += traverse_cycles;
 
         // -- Trigger: one lock acquisition covers the whole group.
         ++result.stats.lock_acquisitions;
@@ -204,7 +226,8 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
                             : key_hash;
         bool group_writes = false;
         for (std::uint32_t idx : members) {
-          group_writes |= ops[idx].type == OpType::kWrite;
+          group_writes |= ops[idx].type == OpType::kWrite ||
+                          ops[idx].type == OpType::kRemove;
         }
         // Buckets are pinned to workers, so a node's groups never truly
         // race; the event is recorded as residual synchronization but the
@@ -213,8 +236,10 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
         if (outcome.contended) {
           ++result.stats.lock_contentions;
           serial_cycles += model_.cycles_lock_uncontended;
+          trigger_total += model_.cycles_lock_uncontended;
         }
 
+        double trigger_cycles = 0.0;
         for (std::uint32_t idx : members) {
           const Operation& op = ops[idx];
           if (op.type == OpType::kScan) {
@@ -226,10 +251,18 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
               return ++entries < op.scan_count;
             });
             result.stats.scan_entries += entries;
-            bucket_cycles[b] +=
-                static_cast<double>(entries) * kTriggerCyclesPerOp;
+            trigger_cycles += static_cast<double>(entries) * kTriggerCyclesPerOp;
           } else if (op.type == OpType::kRead) {
             if (leaf != nullptr) ++result.reads_hit;
+          } else if (op.type == OpType::kRemove) {
+            if (leaf != nullptr) {
+              // Erase the shortcut entry *before* the leaf is reclaimed so
+              // the table never holds a dangling pointer (the probe above
+              // dereferences stored leaves unconditionally).
+              if (config_.use_shortcuts) shortcuts_.erase(key_hash);
+              tree_.Remove(op.key);
+              leaf = nullptr;
+            }
           } else if (leaf != nullptr) {
             leaf->value = op.value;
           } else {
@@ -244,15 +277,17 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
             }
           }
         }
-        bucket_cycles[b] += static_cast<double>(members.size()) *
-                                kTriggerCyclesPerOp +
-                            model_.cycles_lock_uncontended;
+        trigger_cycles += static_cast<double>(members.size()) *
+                              kTriggerCyclesPerOp +
+                          model_.cycles_lock_uncontended;
 
         std::uint64_t lines = 0, misses = 0;
         observer.Take(lines, misses);
-        bucket_cycles[b] +=
+        trigger_cycles +=
             static_cast<double>(lines - misses) * model_.cycles_llc_hit +
             static_cast<double>(misses) * model_.cycles_dram_miss;
+        bucket_cycles[b] += trigger_cycles;
+        trigger_total += trigger_cycles;
       }
     }
 
@@ -260,8 +295,9 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
     // Combine is a sequential scan (the PCU analogue); bucket processing is
     // spread over min(threads, buckets) workers with the hottest bucket
     // bounding the makespan (CTT's load-imbalance cost on skewed data).
+    combine_total += combine_cycles;
     const double workers = static_cast<double>(
-        std::min({config.threads, model_.cores, buckets_n}));
+        std::min({config.cpu.threads, model_.cores, buckets_n}));
     double sum_buckets = 0.0;
     double max_bucket = 0.0;
     for (double c : bucket_cycles) {
@@ -282,6 +318,10 @@ ExecutionResult DcartCEngine::Run(std::span<const Operation> ops,
   tree_.set_observer(nullptr);
   result.seconds = total_seconds;
   result.energy_joules = total_seconds * model_.power_watts;
+  result.phase_breakdown.combine_seconds = combine_total / model_.frequency_hz;
+  result.phase_breakdown.traverse_seconds =
+      traverse_total / model_.frequency_hz;
+  result.phase_breakdown.trigger_seconds = trigger_total / model_.frequency_hz;
   return result;
 }
 

@@ -1,0 +1,507 @@
+#include "dcartc/parallel_runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <unordered_set>
+
+namespace dcart::dcartc {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+// --------------------------------------------------------- ShortcutTable --
+
+art::Leaf* ShortcutTable::Find(std::uint64_t hash) const {
+  if (slots_.empty()) return nullptr;
+  hash = Normalize(hash);
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = hash & mask; slots_[i].hash != 0; i = (i + 1) & mask) {
+    if (slots_[i].hash == hash && slots_[i].leaf != nullptr) {
+      return slots_[i].leaf;
+    }
+  }
+  return nullptr;
+}
+
+void ShortcutTable::Insert(std::uint64_t hash, art::Leaf* leaf) {
+  if ((live_ + tombs_ + 1) * 4 > slots_.size() * 3) Grow();
+  hash = Normalize(hash);
+  const std::size_t mask = slots_.size() - 1;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t tomb = kNone;
+  std::size_t i = hash & mask;
+  for (; slots_[i].hash != 0; i = (i + 1) & mask) {
+    if (slots_[i].hash == hash && slots_[i].leaf != nullptr) {
+      slots_[i].leaf = leaf;  // refresh in place
+      return;
+    }
+    if (slots_[i].leaf == nullptr && tomb == kNone) tomb = i;
+  }
+  if (tomb != kNone) {
+    slots_[tomb] = Slot{hash, leaf};
+    --tombs_;
+  } else {
+    slots_[i] = Slot{hash, leaf};
+  }
+  ++live_;
+}
+
+void ShortcutTable::Erase(std::uint64_t hash) {
+  if (slots_.empty()) return;
+  hash = Normalize(hash);
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = hash & mask; slots_[i].hash != 0; i = (i + 1) & mask) {
+    if (slots_[i].hash == hash && slots_[i].leaf != nullptr) {
+      slots_[i].leaf = nullptr;  // tombstone: probes continue past it
+      --live_;
+      ++tombs_;
+      return;
+    }
+  }
+}
+
+void ShortcutTable::Grow() {
+  std::size_t capacity = slots_.empty() ? 64 : slots_.size();
+  while ((live_ + 1) * 2 >= capacity) capacity *= 2;
+  std::vector<Slot> old;
+  old.swap(slots_);
+  slots_.assign(capacity, Slot{});
+  tombs_ = 0;
+  const std::size_t mask = capacity - 1;
+  for (const Slot& s : old) {
+    if (s.hash == 0 || s.leaf == nullptr) continue;
+    std::size_t i = s.hash & mask;
+    while (slots_[i].hash != 0) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
+// --------------------------------------------------------- DcartCpEngine --
+
+/// One root-child subtree's share of the batch.
+struct DcartCpEngine::Bucket {
+  unsigned byte = 0;             // the root branch byte this bucket owns
+  art::NodeRef* slot = nullptr;  // the root's child entry for `byte`
+  // The byte's persistent shortcut table.  Resolved serially in the
+  // combine phase so workers never touch the engine's outer table map
+  // (whose rehashing would race).
+  ShortcutTable* table = nullptr;
+  std::vector<std::uint32_t> op_indices;  // batch-relative, arrival order
+};
+
+/// Everything a worker accumulates privately and the coordinator merges
+/// after the join (the tree itself carries no counters during the phase).
+struct DcartCpEngine::WorkerResult {
+  std::ptrdiff_t net_size = 0;
+  std::uint64_t operations = 0;
+  std::uint64_t reads_hit = 0;
+  std::uint64_t shortcut_hits = 0;
+  std::uint64_t shortcut_misses = 0;
+  std::vector<std::uint32_t> deferred;  // ops bounced to the serial phase
+  std::vector<std::uint64_t> hashes;    // per-bucket scratch (reused)
+};
+
+DcartCpEngine::DcartCpEngine(DcartCpConfig config) : config_(config) {}
+
+DcartCpEngine::~DcartCpEngine() = default;
+
+void DcartCpEngine::Load(const std::vector<std::pair<Key, art::Value>>& items) {
+  for (const auto& [key, value] : items) {
+    tree_.Insert(key, value);
+  }
+  // Pre-warm the shortcut tables with every loaded key (the paper loads the
+  // Shortcut_Table alongside the tree image).  This is off the measured
+  // clock: without it the first touch of each key during Run() pays a full
+  // descent just to install the entry.
+  if (!config_.use_shortcuts) return;
+  Key root_path;
+  if (RefreshPartition(root_path) == nullptr) return;
+  for (const auto& [key, value] : items) {
+    if (key.size() <= partition_offset_) continue;
+    if (art::Leaf* leaf = tree_.FindLeaf(key)) {
+      shortcut_tables_[key[partition_offset_]].Insert(HashKey(key), leaf);
+    }
+  }
+}
+
+art::Node* DcartCpEngine::RefreshPartition(Key& root_path) {
+  const art::NodeRef root = tree_.root();
+  if (!root.IsNode()) return nullptr;
+  art::Node* root_node = root.AsNode();
+  const std::size_t prefix_offset = root_node->prefix_len;
+
+  // Recover the root's full compressed path (the paper's PCU reads this
+  // from a host-set register): stored bytes first, the tail from the
+  // subtree minimum.
+  root_path.assign(prefix_offset, 0);
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(prefix_offset, root_node->stored_prefix_len);
+       ++i) {
+    root_path[i] = root_node->prefix[i];
+  }
+  if (prefix_offset > root_node->stored_prefix_len) {
+    const art::Leaf* min_leaf = art::Minimum(root);
+    for (std::size_t i = root_node->stored_prefix_len; i < prefix_offset;
+         ++i) {
+      root_path[i] = min_leaf->key[i];
+    }
+  }
+
+  // A changed partition (root replaced by growth/splitting/merging, or its
+  // path re-cut) re-keys every byte->subtree mapping: drop all shortcut
+  // tables rather than risk serving a leaf across bucket boundaries.
+  if (partition_root_ != root.raw() || partition_offset_ != prefix_offset) {
+    shortcut_tables_.clear();
+    partition_root_ = root.raw();
+    partition_offset_ = prefix_offset;
+  }
+  return root_node;
+}
+
+std::optional<art::Value> DcartCpEngine::Lookup(KeyView key) const {
+  return tree_.Get(key);
+}
+
+void DcartCpEngine::EraseShortcutEverywhere(std::uint64_t key_hash) {
+  for (auto& [byte, table] : shortcut_tables_) table.Erase(key_hash);
+}
+
+void DcartCpEngine::ApplySerial(const Operation& op, ExecutionResult& result) {
+  ++result.stats.operations;
+  switch (op.type) {
+    case OpType::kRead:
+      if (tree_.Get(op.key).has_value()) ++result.reads_hit;
+      break;
+    case OpType::kWrite:
+      tree_.Insert(op.key, op.value);
+      break;
+    case OpType::kRemove:
+      // The key may have a shortcut entry from an earlier batch under any
+      // byte table; drop it everywhere before the leaf is reclaimed.
+      EraseShortcutEverywhere(HashKey(op.key));
+      tree_.Remove(op.key);
+      break;
+    case OpType::kScan: {
+      std::size_t entries = 0;
+      tree_.ScanFrom(op.key, [&entries, &op](KeyView, art::Value) {
+        return ++entries < op.scan_count;
+      });
+      result.stats.scan_entries += entries;
+      break;
+    }
+  }
+}
+
+void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
+                             std::size_t end, std::size_t workers,
+                             ExecutionResult& result,
+                             PhaseBreakdown& phases) {
+  const auto combine_start = std::chrono::steady_clock::now();
+
+  // ----------------------------------------------------------- Combine ---
+  std::vector<std::uint32_t>& deferred = deferred_;  // no parallel-safe home
+  deferred.clear();
+  // Serial, once per batch — workers never reach across buckets for the
+  // root path.
+  Key root_path;
+  art::Node* root_node = RefreshPartition(root_path);
+  if (root_node == nullptr) {
+    // Empty or single-key tree: nothing to shard over.  Everything runs in
+    // the serial phase below; the first inserts grow a root to shard on.
+    deferred.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      deferred.push_back(static_cast<std::uint32_t>(i));
+    }
+    phases.combine_seconds += SecondsSince(combine_start);
+    const auto trigger_start = std::chrono::steady_clock::now();
+    for (std::uint32_t idx : deferred) ApplySerial(ops[idx], result);
+    phases.trigger_seconds += SecondsSince(trigger_start);
+    return;
+  }
+  const std::size_t prefix_offset = partition_offset_;
+
+  // Byte -> pooled bucket index.  A flat array (not a map): the byte space
+  // is 256 wide and this lookup runs once per operation.
+  constexpr std::int32_t kUnseen = -1;
+  constexpr std::int32_t kDeferredBucket = -2;
+  byte_to_bucket_.fill(kUnseen);
+  std::size_t active = 0;  // buckets in use this batch (pool prefix)
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const Operation& op = ops[i];
+    const KeyView key{op.key};
+    // Scans cross bucket boundaries; keys that exhaust or diverge inside
+    // the root's compressed path need a root restructure to insert.  Both
+    // go to the serial phase — and keep per-key order, because every other
+    // operation on such a key classifies identically.
+    if (op.type == OpType::kScan || key.size() <= prefix_offset ||
+        !std::equal(root_path.begin(), root_path.end(), key.begin())) {
+      deferred.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    const unsigned byte = key[prefix_offset];
+    std::int32_t& entry = byte_to_bucket_[byte];
+    if (entry == kUnseen) {
+      art::NodeRef* slot = art::FindChildSlot(root_node, byte);
+      if (slot == nullptr || slot->IsLeaf()) {
+        // No subtree yet (inserting would AddChild on the root), or a
+        // single-key subtree (a remove could empty it, which must
+        // RemoveChild on the root).  Not worth a thread either way: the
+        // whole byte goes serial this batch.
+        entry = kDeferredBucket;
+      } else {
+        entry = static_cast<std::int32_t>(active);
+        if (bucket_pool_.size() <= active) bucket_pool_.emplace_back();
+        Bucket& bucket = bucket_pool_[active];
+        bucket.byte = byte;
+        bucket.slot = slot;
+        bucket.table = &shortcut_tables_[byte];
+        bucket.op_indices.clear();
+        ++active;
+      }
+    }
+    if (entry == kDeferredBucket) {
+      deferred.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      bucket_pool_[static_cast<std::size_t>(entry)].op_indices.push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<Bucket>& buckets = bucket_pool_;
+
+  // Largest buckets first: the skew-dominant bucket starts immediately and
+  // idle workers self-schedule the rest from the shared cursor.
+  std::vector<std::size_t>& order = order_;
+  order.resize(active);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&buckets](std::size_t a,
+                                                   std::size_t b) {
+    return buckets[a].op_indices.size() > buckets[b].op_indices.size();
+  });
+  phases.combine_seconds += SecondsSince(combine_start);
+
+  // ------------------------------------------------ Traverse + Trigger ---
+  const auto parallel_start = std::chrono::steady_clock::now();
+  const std::size_t depth = prefix_offset + 1;
+  std::atomic<std::size_t> cursor{0};
+  // No point waking more workers than there are buckets to claim.
+  workers = std::max<std::size_t>(1, std::min(workers, active));
+  std::vector<WorkerResult> worker_results(workers);
+
+  pool_->RunParallel(workers, [&](std::size_t w) {
+    WorkerResult& wr = worker_results[w];
+    for (;;) {
+      const std::size_t claim =
+          cursor.fetch_add(1, std::memory_order_relaxed);
+      if (claim >= order.size()) break;
+      Bucket& bucket = buckets[order[claim]];
+      ShortcutTable& table = *bucket.table;
+      const std::vector<std::uint32_t>& idxs = bucket.op_indices;
+      const std::size_t n = idxs.size();
+      // Keys this bucket has bounced to the serial phase; every later
+      // operation on them must follow (arrival order survives the bounce).
+      std::unordered_set<std::uint64_t> deferred_keys;
+
+      // Group-scheduled execution (AMAC-style): hash every key up front
+      // (prefetching the key buffers ahead), then process the bucket in
+      // groups of kGroup, warming each group's table slots, candidate
+      // leaves, and leaf key buffers in staged passes before executing.
+      // One at a time, probe -> leaf -> key-compare is a serial dependent
+      // chain of cache misses; staged over a group the misses overlap.
+      // The warming passes are pure cache hints: the execute pass re-probes
+      // the (now cached) table per operation, so in-group mutations —
+      // installs, erases, removes — are observed exactly as in a naive
+      // in-order walk.  Leaf dereferences during warming are safe because
+      // reclaims happen only in execute passes, which erase the table
+      // entry first; every pointer a warm pass reads is live at that point.
+      std::vector<std::uint64_t>& hashes = wr.hashes;
+      hashes.resize(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        // Bucketing strides through the batch, so the Operation structs
+        // are as cold as the key buffers they point at: warm the struct
+        // first, its key bytes once the struct line has arrived.
+        if (j + 16 < n) __builtin_prefetch(&ops[idxs[j + 16]]);
+        if (j + 8 < n) __builtin_prefetch(ops[idxs[j + 8]].key.data());
+        hashes[j] = HashKey(ops[idxs[j]].key);
+      }
+
+      constexpr std::size_t kGroup = 32;
+      std::array<art::Leaf*, kGroup> warm;
+      for (std::size_t g = 0; g < n; g += kGroup) {
+      const std::size_t group_n = std::min(kGroup, n - g);
+      if (config_.use_shortcuts) {
+        for (std::size_t k = 0; k < group_n; ++k) {
+          table.PrefetchSlot(hashes[g + k]);
+        }
+        for (std::size_t k = 0; k < group_n; ++k) {
+          warm[k] = table.Find(hashes[g + k]);
+          if (warm[k] != nullptr) __builtin_prefetch(warm[k]);
+        }
+        for (std::size_t k = 0; k < group_n; ++k) {
+          if (warm[k] != nullptr) __builtin_prefetch(warm[k]->key.data());
+        }
+      }
+      // Until something in this group mutates the table (a miss install, a
+      // collision evict, a remove), the warm pass's answers are still the
+      // authoritative ones, so the common all-hits group never probes
+      // twice.  Any mutation flips `dirty` and the rest of the group drops
+      // back to re-probing.  Leaf reclaims also always mutate (they erase
+      // the table entry first), so a trusted warm pointer is never stale.
+      bool dirty = false;
+      for (std::size_t j = g; j < g + group_n; ++j) {
+        const std::uint32_t idx = idxs[j];
+        const Operation& op = ops[idx];
+        const std::uint64_t key_hash = hashes[j];
+        if (!deferred_keys.empty() && deferred_keys.count(key_hash) > 0) {
+          wr.deferred.push_back(idx);
+          continue;
+        }
+
+        // Probe the bucket's shortcut table.  Entries are erased before
+        // any leaf reclamation, so stored pointers never dangle; a
+        // mismatch is a hash collision and evicts the squatter.
+        art::Leaf* leaf = nullptr;
+        if (config_.use_shortcuts) {
+          art::Leaf* candidate =
+              dirty ? table.Find(key_hash) : warm[j - g];
+          if (candidate != nullptr) {
+            if (KeysEqual(candidate->key, op.key)) {
+              leaf = candidate;
+              ++wr.shortcut_hits;
+            } else {
+              table.Erase(key_hash);
+              dirty = true;
+            }
+          }
+        }
+
+        switch (op.type) {
+          case OpType::kRead:
+            if (leaf == nullptr) {
+              ++wr.shortcut_misses;
+              leaf = tree_.FindLeafInSubtree(*bucket.slot, depth, op.key);
+              if (leaf != nullptr && config_.use_shortcuts) {
+                table.Insert(key_hash, leaf);
+                dirty = true;
+              }
+            }
+            if (leaf != nullptr) ++wr.reads_hit;
+            break;
+          case OpType::kWrite:
+            if (leaf != nullptr) {
+              leaf->value = op.value;
+            } else {
+              ++wr.shortcut_misses;
+              if (tree_.InsertInSubtree(bucket.slot, depth, op.key, op.value,
+                                        &leaf)) {
+                ++wr.net_size;
+              }
+              if (config_.use_shortcuts) {
+                table.Insert(key_hash, leaf);
+                dirty = true;
+              }
+            }
+            break;
+          case OpType::kRemove: {
+            if (leaf == nullptr) ++wr.shortcut_misses;
+            if (bucket.slot->IsLeaf()) {
+              // The subtree collapsed to its last key during this batch.
+              // Deleting it would RemoveChild on the root: bounce to the
+              // serial phase and pin the key there for the batch's rest.
+              art::Leaf* only = bucket.slot->AsLeaf();
+              if (KeysEqual(only->key, op.key)) {
+                wr.deferred.push_back(idx);
+                deferred_keys.insert(key_hash);
+                continue;
+              }
+              break;  // absent key: no-op
+            }
+            if (config_.use_shortcuts) {
+              table.Erase(key_hash);
+              dirty = true;
+            }
+            if (tree_.RemoveInSubtree(bucket.slot, depth, op.key)) {
+              --wr.net_size;
+            }
+            break;
+          }
+          case OpType::kScan:
+            assert(false && "scans are deferred at combine time");
+            break;
+        }
+        ++wr.operations;
+      }
+      }  // group loop
+    }
+  });
+
+  std::ptrdiff_t net_size = 0;
+  for (const WorkerResult& wr : worker_results) {
+    net_size += wr.net_size;
+    result.stats.operations += wr.operations;
+    result.stats.shortcut_hits += wr.shortcut_hits;
+    result.stats.shortcut_misses += wr.shortcut_misses;
+    result.reads_hit += wr.reads_hit;
+  }
+  tree_.AdjustSize(net_size);
+  phases.traverse_seconds += SecondsSince(parallel_start);
+
+  // ------------------------------------------------- Serial catch-up -----
+  // Combine-deferred operations first, then each worker's bounces.  The two
+  // classes never share a key, and each list is in arrival order, so
+  // per-key order holds globally.
+  const auto trigger_start = std::chrono::steady_clock::now();
+  for (std::uint32_t idx : deferred) ApplySerial(ops[idx], result);
+  for (const WorkerResult& wr : worker_results) {
+    for (std::uint32_t idx : wr.deferred) ApplySerial(ops[idx], result);
+  }
+  phases.trigger_seconds += SecondsSince(trigger_start);
+}
+
+ExecutionResult DcartCpEngine::Run(std::span<const Operation> ops,
+                                   const RunConfig& config) {
+  ExecutionResult result;
+  result.platform = "cpu";
+  result.wallclock = true;
+
+  std::size_t workers = config.cpu.wall_threads;
+  if (workers == 0) {
+    workers = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  }
+  if (!pool_ || pool_->size() != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+
+  LatencyHistogram* latency =
+      config.collect_latency ? &result.latency_ns : nullptr;
+  const std::size_t batch_size = std::max<std::size_t>(1, config.batch_size);
+
+  double total_seconds = 0.0;
+  for (std::size_t begin = 0; begin < ops.size(); begin += batch_size) {
+    const std::size_t end = std::min(ops.size(), begin + batch_size);
+    const auto batch_start = std::chrono::steady_clock::now();
+    RunBatch(ops, begin, end, workers, result, result.phase_breakdown);
+    const double batch_seconds = SecondsSince(batch_start);
+    total_seconds += batch_seconds;
+    if (latency != nullptr) {
+      latency->RecordMany(static_cast<std::uint64_t>(batch_seconds * 1e9),
+                          end - begin);
+    }
+  }
+
+  result.seconds = total_seconds;
+  return result;
+}
+
+}  // namespace dcart::dcartc

@@ -1,0 +1,138 @@
+// DCART-CP: a real-threads parallel CTT runtime on the CPU.
+//
+// Where DCART-C *models* the software CTT pipeline on the paper's Xeon,
+// DCART-CP executes it for real and is measured by wall clock
+// (ExecutionResult::wallclock == true).  Per batch:
+//
+//   Combine  — (serial) shard the batch by the root's discriminating key
+//              byte: every operation lands in the bucket of the root child
+//              its key descends into, so buckets map 1:1 to disjoint
+//              subtrees.
+//   Traverse — (parallel) worker threads claim buckets from a shared cursor
+//              (largest first, so a skewed bucket starts earliest and idle
+//              workers drain the tail — LPT self-scheduling) and resolve
+//              each key through the bucket's persistent shortcut table,
+//              falling back to a subtree descent on a miss.
+//   Trigger  — (parallel) apply the operations in arrival order on the
+//              resolved leaf via Tree::{Insert,Remove}InSubtree, which by
+//              construction never touch memory outside the bucket's subtree.
+//
+// The single shared art::Tree needs no locks during the parallel phase:
+// buckets own disjoint root-child slots, the root node itself is immutable
+// while workers run, and Tree::size_ is reconciled after the join from
+// per-worker deltas (AdjustSize).  Operations that WOULD have to
+// restructure the root — inserting a key with no root child or one that
+// diverges inside the root's compressed path, deleting a bucket's last key,
+// and range scans (they cross buckets) — are deferred and replayed serially
+// after the join.  Once a key defers, every later batch operation on it
+// defers too, so per-key arrival order is preserved end to end.
+//
+// Shortcut tables are per *bucket* (per root-child byte), not per worker:
+// they travel with the bucket when a different worker claims it, and a
+// worker never probes another bucket's table.  Entries are erased before a
+// leaf is reclaimed by a remove, and all tables are dropped whenever the
+// partition changes (root replaced or its compressed path re-cut), so a
+// stored Leaf* is always safe to dereference.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "art/tree.h"
+#include "baselines/engine.h"
+#include "common/thread_pool.h"
+
+namespace dcart::dcartc {
+
+struct DcartCpConfig {
+  bool use_shortcuts = true;  // ablation knob, mirrors DcartCConfig
+};
+
+/// Flat open-addressing map from key hash to resolved leaf — the software
+/// analogue of the paper's SRAM Shortcut_Table.  Linear probing over a
+/// power-of-two slot array keeps a probe to one cache line (against the
+/// several node hops of a descent, which is the entire point of the
+/// shortcut path); deletions leave tombstones that growth purges.  Not
+/// thread-safe: each table belongs to one bucket, and one worker owns a
+/// bucket at a time.
+class ShortcutTable {
+ public:
+  /// The leaf recorded for `hash`, or nullptr.  The caller must verify the
+  /// leaf's key (hash collisions evict via Erase + reinstall).
+  art::Leaf* Find(std::uint64_t hash) const;
+  void Insert(std::uint64_t hash, art::Leaf* leaf);
+  void Erase(std::uint64_t hash);
+
+  /// Hint the cache about `hash`'s home slot (group-prefetch pipelining).
+  void PrefetchSlot(std::uint64_t hash) const {
+    if (!slots_.empty()) {
+      __builtin_prefetch(&slots_[Normalize(hash) & (slots_.size() - 1)]);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;     // 0 = never occupied
+    art::Leaf* leaf = nullptr;  // nullptr with hash != 0 = tombstone
+  };
+  // Reserve hash 0 as the empty marker; remapping 0 to 1 only merges the
+  // two values' slots, which the caller's key check already disambiguates.
+  static std::uint64_t Normalize(std::uint64_t hash) {
+    return hash == 0 ? 1 : hash;
+  }
+  void Grow();
+
+  std::vector<Slot> slots_;  // power-of-two, allocated on first Insert
+  std::size_t live_ = 0;
+  std::size_t tombs_ = 0;
+};
+
+class DcartCpEngine : public IndexEngine {
+ public:
+  explicit DcartCpEngine(DcartCpConfig config = {});
+  ~DcartCpEngine() override;
+
+  std::string name() const override { return "DCART-CP"; }
+  void Load(const std::vector<std::pair<Key, art::Value>>& items) override;
+  ExecutionResult Run(std::span<const Operation> ops,
+                      const RunConfig& config) override;
+  std::optional<art::Value> Lookup(KeyView key) const override;
+
+  /// Post-run state inspection (property tests replay serially and diff).
+  const art::Tree& tree() const { return tree_; }
+
+ private:
+  struct Bucket;
+  struct WorkerResult;
+
+  void RunBatch(std::span<const Operation> ops, std::size_t begin,
+                std::size_t end, std::size_t workers, ExecutionResult& result,
+                PhaseBreakdown& phases);
+  void ApplySerial(const Operation& op, ExecutionResult& result);
+  void EraseShortcutEverywhere(std::uint64_t key_hash);
+  /// Recompute the root partition (full compressed path + offset); clears
+  /// all shortcut tables if the signature moved.  Returns the root node, or
+  /// nullptr while the tree is empty / a single leaf.
+  art::Node* RefreshPartition(Key& root_path);
+
+  DcartCpConfig config_;
+  art::Tree tree_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily sized on first Run
+  // One shortcut table per root-child byte; cleared when the partition
+  // (root identity or compressed-path length) changes.
+  std::unordered_map<unsigned, ShortcutTable> shortcut_tables_;
+  std::uintptr_t partition_root_ = 0;
+  std::size_t partition_offset_ = 0;
+
+  // Combine-phase scratch, reused across batches so the hot path does no
+  // per-batch allocation once warm (RunBatch is called serially).
+  std::vector<Bucket> bucket_pool_;
+  std::array<std::int32_t, 256> byte_to_bucket_{};
+  std::vector<std::uint32_t> deferred_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace dcart::dcartc

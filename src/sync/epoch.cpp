@@ -25,7 +25,7 @@ void EpochManager::Enter(std::size_t tid) {
 void EpochManager::Exit(std::size_t tid) {
   ThreadSlot& slot = slots_[tid];
   slot.local_epoch.store(kIdle, std::memory_order_release);
-  if (defer_) return;
+  if (defer_.load(std::memory_order_relaxed)) return;
   if (++slot.ops_since_scan >= kScanInterval && !slot.retired.empty()) {
     slot.ops_since_scan = 0;
     global_epoch_.fetch_add(1, std::memory_order_acq_rel);

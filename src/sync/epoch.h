@@ -56,7 +56,12 @@ class EpochManager {
 
   /// When set, Exit() never reclaims; retired objects accumulate until
   /// DrainAll().  Used while callers cache node pointers across operations.
-  void set_defer(bool defer) { defer_ = defer; }
+  /// Atomic (relaxed) because retirers re-assert it from worker threads
+  /// while other threads' Exit() calls read it; it is a policy flag, not a
+  /// synchronization point.
+  void set_defer(bool defer) {
+    defer_.store(defer, std::memory_order_relaxed);
+  }
 
  private:
   struct Retired {
@@ -78,7 +83,7 @@ class EpochManager {
 
   std::atomic<std::uint64_t> global_epoch_{1};
   std::vector<ThreadSlot> slots_;
-  bool defer_ = false;
+  std::atomic<bool> defer_{false};
 };
 
 }  // namespace dcart::sync

@@ -244,6 +244,9 @@ Workload MakeWorkload(WorkloadKind kind, const WorkloadConfig& config) {
       op.type = OpType::kScan;
       op.scan_count = 1 + static_cast<std::uint32_t>(
                               rng.NextBounded(config.max_scan_count));
+    } else if (roll < config.write_ratio + config.scan_ratio +
+                          config.remove_ratio) {
+      op.type = OpType::kRemove;
     } else {
       op.type = OpType::kRead;
     }

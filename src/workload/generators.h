@@ -49,6 +49,10 @@ struct WorkloadConfig {
   // share; YCSB-E-style mixes).  Paper figures use 0.
   double scan_ratio = 0.0;
   std::uint32_t max_scan_count = 100;  // scan lengths uniform in [1, max]
+  // Fraction of operations that delete their key (taken out of the read
+  // share).  Paper figures use 0; the concurrency stress tests use it to
+  // exercise structural shrinking under mixed batches.
+  double remove_ratio = 0.0;
 };
 
 Workload MakeWorkload(WorkloadKind kind, const WorkloadConfig& config);

@@ -14,11 +14,11 @@
 
 namespace dcart {
 
-enum class OpType : std::uint8_t { kRead, kWrite, kScan };
+enum class OpType : std::uint8_t { kRead, kWrite, kScan, kRemove };
 
 struct Operation {
   OpType type = OpType::kRead;
-  Key key;                       // target key / scan start key
+  Key key;                       // target key / scan start / removal victim
   art::Value value = 0;          // payload for writes
   std::uint32_t scan_count = 0;  // entries a kScan reads from `key` onward
 };
@@ -38,8 +38,13 @@ struct Workload {
     for (const Operation& op : ops) n += op.type == OpType::kScan;
     return n;
   }
+  std::size_t NumRemoves() const {
+    std::size_t n = 0;
+    for (const Operation& op : ops) n += op.type == OpType::kRemove;
+    return n;
+  }
   std::size_t NumWrites() const {
-    return ops.size() - NumReads() - NumScans();
+    return ops.size() - NumReads() - NumScans() - NumRemoves();
   }
 };
 

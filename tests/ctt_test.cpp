@@ -86,6 +86,34 @@ TEST(Shortcuts, StaleEntryForDifferentKeyIsAMiss) {
   EXPECT_EQ(engine.Lookup(EncodeU64(2)).value(), 20u);
 }
 
+TEST(Shortcuts, RemovedKeyEntryIsErasedNotStale) {
+  // Regression: Remove used to leave the key's Shortcut_Table entry
+  // pointing at the reclaimed leaf, so a later read of the same hash
+  // bucket dereferenced freed memory (or served the pre-delete leaf after
+  // a reinsert).  Both CTT engines must erase the entry with the key.
+  const std::vector<Operation> ops = {
+      {OpType::kRead, EncodeU64(5), 0},     // installs the shortcut
+      {OpType::kRemove, EncodeU64(5), 0},   // must erase it
+      {OpType::kRead, EncodeU64(5), 0},     // miss, not a stale hit
+      {OpType::kWrite, EncodeU64(5), 555},  // reinsert: same hash bucket
+      {OpType::kRead, EncodeU64(5), 0}};
+  RunConfig per_op;
+  per_op.batch_size = 1;  // one op per batch so entries persist in between
+
+  dcartc::DcartCEngine soft;
+  soft.Load({{EncodeU64(5), 50}});
+  const auto rs = soft.Run(ops, per_op);
+  EXPECT_EQ(rs.reads_hit, 2u);  // the middle read sees the deletion
+  EXPECT_EQ(soft.Lookup(EncodeU64(5)).value(), 555u);
+
+  accel::DcartEngine hard;
+  hard.Load({{EncodeU64(5), 50}});
+  const auto rh = hard.Run(ops, per_op);
+  EXPECT_EQ(rh.reads_hit, 2u);
+  EXPECT_EQ(hard.Lookup(EncodeU64(5)).value(), 555u);
+  EXPECT_EQ(rs.stats.shortcut_hits, rh.stats.shortcut_hits);
+}
+
 TEST(Combining, DeterministicAcrossRuns) {
   WorkloadConfig cfg;
   cfg.num_keys = 3000;
