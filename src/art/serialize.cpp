@@ -7,11 +7,15 @@
 #include <memory>
 #include <vector>
 
+#include "resilience/fault_injector.h"
+
 namespace dcart::art {
 
 namespace {
 
 constexpr char kMagic[8] = {'D', 'C', 'A', 'R', 'T', 'S', 'N', '1'};
+// Smallest possible serialized entry: u32 key_len + 1 key byte + u64 value.
+constexpr std::uint64_t kMinEntryBytes = 4 + 1 + 8;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -20,14 +24,45 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
+/// All writes funnel through here so the kFileShortWrite site models a
+/// process dying (or a disk filling) mid-write: part of the data lands,
+/// then the write "fails" — leaving exactly the torn file a loader must
+/// survive.
+bool WriteBytes(std::FILE* f, const void* data, std::size_t n) {
+  if (resilience::FaultCheck(resilience::FaultSite::kFileShortWrite)) {
+    if (n > 1) std::fwrite(data, 1, n / 2, f);
+    return false;
+  }
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, std::size_t n) {
+  if (resilience::FaultCheck(resilience::FaultSite::kFileShortRead)) {
+    if (n > 1) std::fread(data, 1, n / 2, f);
+    return false;
+  }
+  return std::fread(data, 1, n, f) == n;
+}
+
 template <typename T>
 bool WritePod(std::FILE* f, T value) {
-  return std::fwrite(&value, sizeof value, 1, f) == 1;
+  return WriteBytes(f, &value, sizeof value);
 }
 
 template <typename T>
 bool ReadPod(std::FILE* f, T& value) {
-  return std::fread(&value, sizeof value, 1, f) == 1;
+  return ReadBytes(f, &value, sizeof value);
+}
+
+/// Bytes from the current position to EOF, or -1 when unknowable.  Length
+/// fields read from the file are checked against this so a corrupt count or
+/// key_len can never drive an allocation past what the file could hold.
+long RemainingBytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(f);
+  if (std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return end >= pos ? end - pos : -1;
 }
 
 }  // namespace
@@ -35,9 +70,7 @@ bool ReadPod(std::FILE* f, T& value) {
 bool SaveTree(const Tree& tree, const std::string& path) {
   File f(std::fopen(path.c_str(), "wb"));
   if (!f) return false;
-  if (std::fwrite(kMagic, 1, sizeof kMagic, f.get()) != sizeof kMagic) {
-    return false;
-  }
+  if (!WriteBytes(f.get(), kMagic, sizeof kMagic)) return false;
   if (!WritePod(f.get(), static_cast<std::uint64_t>(tree.size()))) {
     return false;
   }
@@ -45,12 +78,12 @@ bool SaveTree(const Tree& tree, const std::string& path) {
   if (!tree.empty()) {
     tree.ScanFrom(Key{}, [&](KeyView key, Value value) {
       ok = ok && WritePod(f.get(), static_cast<std::uint32_t>(key.size())) &&
-           std::fwrite(key.data(), 1, key.size(), f.get()) == key.size() &&
+           WriteBytes(f.get(), key.data(), key.size()) &&
            WritePod(f.get(), value);
       return ok;
     });
   }
-  return ok;
+  return ok && std::fflush(f.get()) == 0;
 }
 
 bool LoadTree(const std::string& path, Tree& out) {
@@ -58,22 +91,30 @@ bool LoadTree(const std::string& path, Tree& out) {
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) return false;
   char magic[sizeof kMagic];
-  if (std::fread(magic, 1, sizeof magic, f.get()) != sizeof magic ||
+  if (!ReadBytes(f.get(), magic, sizeof magic) ||
       std::memcmp(magic, kMagic, sizeof magic) != 0) {
     return false;
   }
   std::uint64_t count = 0;
   if (!ReadPod(f.get(), count)) return false;
+  // A flipped bit in `count` must not become a multi-gigabyte reserve: the
+  // file physically cannot hold more entries than its remaining bytes allow.
+  const long remaining = RemainingBytes(f.get());
+  if (remaining < 0 ||
+      count > static_cast<std::uint64_t>(remaining) / kMinEntryBytes) {
+    return false;
+  }
   std::vector<std::pair<Key, Value>> items;
   items.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint32_t key_len = 0;
-    if (!ReadPod(f.get(), key_len) || key_len == 0 || key_len > (1u << 20)) {
+    if (!ReadPod(f.get(), key_len) || key_len == 0 || key_len > (1u << 20) ||
+        key_len > static_cast<std::uint64_t>(remaining)) {
       return false;
     }
     Key key(key_len);
     Value value = 0;
-    if (std::fread(key.data(), 1, key_len, f.get()) != key_len ||
+    if (!ReadBytes(f.get(), key.data(), key_len) ||
         !ReadPod(f.get(), value)) {
       return false;
     }

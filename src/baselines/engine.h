@@ -18,6 +18,8 @@
 #include "common/bytes.h"
 #include "common/histogram.h"
 #include "common/stats.h"
+#include "common/status.h"
+#include "resilience/fault_injector.h"
 #include "workload/ops.h"
 
 namespace dcart {
@@ -62,6 +64,11 @@ struct RunConfig {
   CpuRunOptions cpu;
   GpuRunOptions gpu;
   FpgaRunOptions fpga;
+
+  /// Fault-injection plan for this run.  Engines that host injection sites
+  /// arm the global injector with it when it is enabled; the default plan
+  /// is disabled and costs the hot paths nothing.
+  resilience::FaultPlan faults;
 };
 
 /// Where an engine's time went, in CTT phase terms.  For the CTT engines the
@@ -95,6 +102,19 @@ struct ExecutionResult {
   PhaseBreakdown phase_breakdown;
   LatencyHistogram latency_ns;
   std::uint64_t reads_hit = 0;  // reads that found their key (sanity check)
+
+  // -- Fault tolerance (filled by the resilient runtimes) -------------------
+  /// Not-ok when the run crashed (simulated or real) or hit an invariant
+  /// breach.  A run that degraded but completed correctly stays ok; the
+  /// fields below record the degradation.
+  Status status;
+  bool demoted_to_serial = false;    // parallel phase gave up for this engine
+  std::uint32_t parallel_failures = 0;  // batches whose parallel phase failed
+  std::uint32_t bucket_retries = 0;     // bucket re-dispatch attempts
+  std::uint64_t invariant_breaches = 0; // mis-classified ops recovered serially
+  /// Operations covered by a fully-written journal record (ResilientEngine
+  /// only); after a crash, recovery restores exactly this prefix.
+  std::uint64_t ops_acknowledged = 0;
 
   double ThroughputOpsPerSec() const {
     return seconds > 0.0 ? static_cast<double>(stats.operations) / seconds

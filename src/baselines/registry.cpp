@@ -25,6 +25,10 @@ std::unique_ptr<IndexEngine> MakeEngine(const std::string& name,
   if (name == "DCART-CP") {
     return std::make_unique<dcartc::DcartCpEngine>(options.dcartcp);
   }
+  if (name == "DCART-CP-FT") {
+    return std::make_unique<resilience::ResilientEngine>(options.resilient,
+                                                         options.dcartcp);
+  }
   if (name == "DCART") {
     return std::make_unique<accel::DcartEngine>(options.dcart,
                                                 options.fpga_model);
@@ -33,8 +37,8 @@ std::unique_ptr<IndexEngine> MakeEngine(const std::string& name,
 }
 
 std::vector<std::string> ListEngines() {
-  return {"ART",   "ART-OLC", "Heart",    "SMART",
-          "CuART", "DCART-C", "DCART-CP", "DCART"};
+  return {"ART",     "ART-OLC",  "Heart",       "SMART", "CuART",
+          "DCART-C", "DCART-CP", "DCART-CP-FT", "DCART"};
 }
 
 }  // namespace dcart

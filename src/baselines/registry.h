@@ -12,6 +12,8 @@
 //   "CuART"    — GPU batch-sort model
 //   "DCART-C"  — software CTT, modeled on the paper's Xeon
 //   "DCART-CP" — software CTT on real threads, wall-clock measured
+//   "DCART-CP-FT" — DCART-CP wrapped in the fault-tolerant execution layer
+//                   (write-ahead journal + snapshots + Recover())
 //   "DCART"    — the FPGA accelerator simulator
 #pragma once
 
@@ -23,6 +25,7 @@
 #include "dcart/config.h"
 #include "dcartc/dcartc.h"
 #include "dcartc/parallel_runtime.h"
+#include "resilience/resilient_engine.h"
 #include "simhw/timing_model.h"
 
 namespace dcart {
@@ -36,6 +39,9 @@ struct EngineOptions {
   dcartc::DcartCConfig dcartc;  // DCART-C ablations
   dcartc::DcartCpConfig dcartcp;  // DCART-CP ablations
   accel::DcartConfig dcart;     // DCART ablations
+  /// Durability knobs for "DCART-CP-FT" (journal/snapshot dir, cadence).
+  /// Default (empty dir) runs without durability.
+  resilience::ResilienceOptions resilient;
 };
 
 /// Instantiate a fresh engine by registered name; nullptr if unknown.

@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace dcart {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dcart

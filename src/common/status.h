@@ -1,0 +1,39 @@
+// Minimal status type for operations that can fail without a value to
+// return.  Used as the error channel of the fault-tolerant execution layer:
+// instead of asserting (a no-op in release builds) or aborting, runtimes
+// record what went wrong here and surface it through ExecutionResult.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace dcart {
+
+class Status {
+ public:
+  Status() = default;  // ok
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+  /// Keep the first error: merging an error into an ok status adopts it,
+  /// anything merged into an existing error is dropped (the earliest
+  /// failure is the one that explains the rest).
+  void Update(const Status& other) {
+    if (ok_ && !other.ok_) *this = other;
+  }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace dcart

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <chrono>
 #include <numeric>
 #include <thread>
 #include <unordered_set>
+
+#include "resilience/fault_injector.h"
 
 namespace dcart::dcartc {
 
@@ -108,7 +109,9 @@ struct DcartCpEngine::WorkerResult {
   std::uint64_t reads_hit = 0;
   std::uint64_t shortcut_hits = 0;
   std::uint64_t shortcut_misses = 0;
+  std::uint64_t invariant_breaches = 0;  // mis-classified ops bounced serial
   std::vector<std::uint32_t> deferred;  // ops bounced to the serial phase
+  std::vector<std::size_t> failed_buckets;  // claim-failed, ops untouched
   std::vector<std::uint64_t> hashes;    // per-bucket scratch (reused)
 };
 
@@ -117,6 +120,9 @@ DcartCpEngine::DcartCpEngine(DcartCpConfig config) : config_(config) {}
 DcartCpEngine::~DcartCpEngine() = default;
 
 void DcartCpEngine::Load(const std::vector<std::pair<Key, art::Value>>& items) {
+  // A fresh load is a fresh life: forget any earlier demotion.
+  demoted_ = false;
+  consecutive_parallel_failures_ = 0;
   for (const auto& [key, value] : items) {
     tree_.Insert(key, value);
   }
@@ -207,6 +213,19 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
                              std::size_t end, std::size_t workers,
                              ExecutionResult& result,
                              PhaseBreakdown& phases) {
+  // Degraded mode: the parallel phase failed too many consecutive batches
+  // (see the demotion bookkeeping below), so the rest of this engine's life
+  // runs the plain serial DCART-C path — slower, but unconditionally sound.
+  if (demoted_) {
+    const auto serial_start = std::chrono::steady_clock::now();
+    for (std::size_t i = begin; i < end; ++i) ApplySerial(ops[i], result);
+    phases.trigger_seconds += SecondsSince(serial_start);
+    return;
+  }
+
+  resilience::FaultInjector& injector = resilience::FaultInjector::Global();
+  const bool faults_armed = injector.armed();
+
   const auto combine_start = std::chrono::steady_clock::now();
 
   // ----------------------------------------------------------- Combine ---
@@ -245,8 +264,17 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
     // the root's compressed path need a root restructure to insert.  Both
     // go to the serial phase — and keep per-key order, because every other
     // operation on such a key classifies identically.
-    if (op.type == OpType::kScan || key.size() <= prefix_offset ||
-        !std::equal(root_path.begin(), root_path.end(), key.begin())) {
+    const bool shardable =
+        key.size() > prefix_offset &&
+        std::equal(root_path.begin(), root_path.end(), key.begin());
+    bool defer = op.type == OpType::kScan || !shardable;
+    // Injected mis-classification: let a scan leak into a bucket so the
+    // parallel Trigger's invariant-breach recovery can be exercised.
+    if (defer && op.type == OpType::kScan && shardable && faults_armed &&
+        injector.ShouldFire(resilience::FaultSite::kScanDeferLeak)) {
+      defer = false;
+    }
+    if (defer) {
       deferred.push_back(static_cast<std::uint32_t>(i));
       continue;
     }
@@ -299,13 +327,30 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
   workers = std::max<std::size_t>(1, std::min(workers, active));
   std::vector<WorkerResult> worker_results(workers);
 
-  pool_->RunParallel(workers, [&](std::size_t w) {
+  // The parallel pass runs once over `order` and again over any
+  // re-dispatched buckets (`pass_order` is re-pointed between passes).  A
+  // bucket that fails does so at claim time, before any of its operations
+  // applied, so re-dispatching it is exact — no op runs twice.
+  const std::vector<std::size_t>* pass_order = &order;
+  const auto worker_body = [&](std::size_t w) {
     WorkerResult& wr = worker_results[w];
     for (;;) {
       const std::size_t claim =
           cursor.fetch_add(1, std::memory_order_relaxed);
-      if (claim >= order.size()) break;
-      Bucket& bucket = buckets[order[claim]];
+      if (claim >= pass_order->size()) break;
+      const std::size_t bucket_index = (*pass_order)[claim];
+      if (faults_armed) {
+        if (injector.ShouldFire(resilience::FaultSite::kWorkerStall)) {
+          // A wedged worker: LPT self-scheduling drains around it, the
+          // stall only shows up as wall-clock latency.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (injector.ShouldFire(resilience::FaultSite::kBucketClaimFail)) {
+          wr.failed_buckets.push_back(bucket_index);
+          continue;
+        }
+      }
+      Bucket& bucket = buckets[bucket_index];
       ShortcutTable& table = *bucket.table;
       const std::vector<std::uint32_t>& idxs = bucket.op_indices;
       const std::size_t n = idxs.size();
@@ -437,14 +482,51 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
             break;
           }
           case OpType::kScan:
-            assert(false && "scans are deferred at combine time");
-            break;
+            // A scan leaked past combine classification (only possible
+            // under injected mis-classification).  This used to be
+            // assert(false) — a no-op in NDEBUG builds that then ran the
+            // scan unsynchronized across bucket boundaries.  Recover
+            // instead: bounce the op (pinning its key, so later batch ops
+            // on it follow) to the serial phase and record the breach,
+            // which Run() surfaces as a Status error.
+            wr.deferred.push_back(idx);
+            deferred_keys.insert(key_hash);
+            ++wr.invariant_breaches;
+            continue;
         }
         ++wr.operations;
       }
       }  // group loop
     }
-  });
+  };
+  pool_->RunParallel(workers, worker_body);
+
+  // Re-dispatch claim-failed buckets with capped exponential backoff.  Ops
+  // of a failed bucket are untouched, so a retry pass is a plain re-run.
+  std::vector<std::size_t> failed;
+  const auto gather_failed = [&] {
+    for (WorkerResult& wr : worker_results) {
+      failed.insert(failed.end(), wr.failed_buckets.begin(),
+                    wr.failed_buckets.end());
+      wr.failed_buckets.clear();
+    }
+  };
+  gather_failed();
+  std::vector<std::size_t> retry_order;
+  for (std::size_t attempt = 0;
+       !failed.empty() && attempt < config_.max_bucket_retries; ++attempt) {
+    result.bucket_retries += static_cast<std::uint32_t>(failed.size());
+    const std::uint32_t backoff_us =
+        std::min(config_.retry_backoff_us << attempt,
+                 config_.retry_backoff_cap_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    retry_order.swap(failed);
+    failed.clear();
+    pass_order = &retry_order;
+    cursor.store(0, std::memory_order_relaxed);
+    pool_->RunParallel(workers, worker_body);
+    gather_failed();
+  }
 
   std::ptrdiff_t net_size = 0;
   for (const WorkerResult& wr : worker_results) {
@@ -453,20 +535,41 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
     result.stats.shortcut_hits += wr.shortcut_hits;
     result.stats.shortcut_misses += wr.shortcut_misses;
     result.reads_hit += wr.reads_hit;
+    result.invariant_breaches += wr.invariant_breaches;
   }
   tree_.AdjustSize(net_size);
   phases.traverse_seconds += SecondsSince(parallel_start);
 
   // ------------------------------------------------- Serial catch-up -----
-  // Combine-deferred operations first, then each worker's bounces.  The two
-  // classes never share a key, and each list is in arrival order, so
-  // per-key order holds globally.
+  // Buckets that exhausted their retries fall back to the serial full-tree
+  // path (correct, just not parallel), then combine-deferred operations,
+  // then each worker's bounces.  The three classes never share a key, and
+  // each list is in arrival order, so per-key order holds globally.
   const auto trigger_start = std::chrono::steady_clock::now();
+  for (std::size_t bucket_index : failed) {
+    for (std::uint32_t idx : bucket_pool_[bucket_index].op_indices) {
+      ApplySerial(ops[idx], result);
+    }
+  }
   for (std::uint32_t idx : deferred) ApplySerial(ops[idx], result);
   for (const WorkerResult& wr : worker_results) {
     for (std::uint32_t idx : wr.deferred) ApplySerial(ops[idx], result);
   }
   phases.trigger_seconds += SecondsSince(trigger_start);
+
+  // Demotion bookkeeping: a batch whose parallel phase could not complete
+  // even with retries counts against the engine; enough consecutive
+  // failures and it stops trying (the paper's lock-free Trigger guarantees
+  // hold only when every bucket completes, so a persistently failing
+  // parallel phase is not worth its coordination cost).
+  if (!failed.empty()) {
+    ++result.parallel_failures;
+    if (++consecutive_parallel_failures_ >= config_.demote_after_failures) {
+      demoted_ = true;
+    }
+  } else {
+    consecutive_parallel_failures_ = 0;
+  }
 }
 
 ExecutionResult DcartCpEngine::Run(std::span<const Operation> ops,
@@ -474,6 +577,10 @@ ExecutionResult DcartCpEngine::Run(std::span<const Operation> ops,
   ExecutionResult result;
   result.platform = "cpu";
   result.wallclock = true;
+
+  if (config.faults.Enabled()) {
+    resilience::FaultInjector::Global().Arm(config.faults);
+  }
 
   std::size_t workers = config.cpu.wall_threads;
   if (workers == 0) {
@@ -501,6 +608,12 @@ ExecutionResult DcartCpEngine::Run(std::span<const Operation> ops,
   }
 
   result.seconds = total_seconds;
+  result.demoted_to_serial = demoted_;
+  if (result.invariant_breaches > 0) {
+    result.status.Update(Status::Error(
+        "scan reached the parallel trigger phase (mis-classified at "
+        "combine); recovered serially"));
+  }
   return result;
 }
 

@@ -49,6 +49,18 @@ namespace dcart::dcartc {
 
 struct DcartCpConfig {
   bool use_shortcuts = true;  // ablation knob, mirrors DcartCConfig
+
+  // -- Degradation policy ---------------------------------------------------
+  // A bucket that fails at claim time (injected fault today; a wedged worker
+  // or poisoned subtree in production) is re-dispatched with capped
+  // exponential backoff.  If retries run out, the batch's failed buckets are
+  // applied serially, and after `demote_after_failures` CONSECUTIVE batches
+  // end that way, the engine demotes itself to the serial path for the rest
+  // of its life (ExecutionResult::demoted_to_serial reports it).
+  std::size_t max_bucket_retries = 3;
+  std::size_t demote_after_failures = 3;
+  std::uint32_t retry_backoff_us = 50;       // doubles per attempt
+  std::uint32_t retry_backoff_cap_us = 800;  // backoff ceiling
 };
 
 /// Flat open-addressing map from key hash to resolved leaf — the software
@@ -104,6 +116,10 @@ class DcartCpEngine : public IndexEngine {
   /// Post-run state inspection (property tests replay serially and diff).
   const art::Tree& tree() const { return tree_; }
 
+  /// True once the engine has given up on the parallel phase (see
+  /// DcartCpConfig degradation policy).  Sticky for the engine's lifetime.
+  bool demoted_to_serial() const { return demoted_; }
+
  private:
   struct Bucket;
   struct WorkerResult;
@@ -133,6 +149,10 @@ class DcartCpEngine : public IndexEngine {
   std::array<std::int32_t, 256> byte_to_bucket_{};
   std::vector<std::uint32_t> deferred_;
   std::vector<std::size_t> order_;
+
+  // Degradation state (sticky across Run() calls; reset by Load()).
+  std::size_t consecutive_parallel_failures_ = 0;
+  bool demoted_ = false;
 };
 
 }  // namespace dcart::dcartc

@@ -1,0 +1,36 @@
+#include "resilience/fault_cli.h"
+
+#include <cstdio>
+#include <string>
+
+namespace dcart::resilience {
+
+FaultPlan FaultPlanFromFlags(const CliFlags& flags) {
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(flags.GetInt("fault-seed", 1));
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const std::string flag = std::string("fault-") + FaultSiteName(site);
+    plan.probability[i] = flags.GetDouble(flag, 0.0);
+    plan.trigger_at[i] =
+        static_cast<std::uint64_t>(flags.GetInt(flag + "-at", 0));
+  }
+  return plan;
+}
+
+std::string FaultReport(const FaultInjector& injector) {
+  std::string report;
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    if (injector.checks(site) == 0) continue;
+    char line[128];
+    std::snprintf(line, sizeof line, "  %-24s %8llu checks  %6llu fired\n",
+                  FaultSiteName(site),
+                  static_cast<unsigned long long>(injector.checks(site)),
+                  static_cast<unsigned long long>(injector.fires(site)));
+    report += line;
+  }
+  return report;
+}
+
+}  // namespace dcart::resilience

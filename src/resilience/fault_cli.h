@@ -1,0 +1,24 @@
+// CLI surface of the fault injector, shared by benches and examples.
+//
+//   --fault-seed=N                 injector seed (default 1)
+//   --fault-<site>=P               per-check fire probability in [0, 1]
+//   --fault-<site>-at=N            fire exactly on the Nth check (1-based)
+//
+// Site names are FaultSiteName() strings, e.g. --fault-hbm-read-corrupt=0.01
+// or --fault-crash-at-batch-boundary-at=7.
+#pragma once
+
+#include "common/cli.h"
+#include "resilience/fault_injector.h"
+
+namespace dcart::resilience {
+
+/// Assemble a FaultPlan from `--fault-*` flags (absent flags leave the site
+/// off).  The returned plan may be disabled; callers typically do
+/// `if (plan.Enabled()) run.faults = plan;`.
+FaultPlan FaultPlanFromFlags(const CliFlags& flags);
+
+/// One line per armed site with check/fire counts, for end-of-run reports.
+std::string FaultReport(const FaultInjector& injector);
+
+}  // namespace dcart::resilience

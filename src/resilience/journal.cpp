@@ -1,0 +1,167 @@
+#include "resilience/journal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "resilience/fault_injector.h"
+
+namespace dcart::resilience {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'C', 'J', 'R', 'N', 'L', '0', '1'};
+// A record longer than this cannot be real (records hold one batch); treat
+// the length field itself as corruption.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+template <typename T>
+void AppendPod(std::vector<std::uint8_t>& buffer, T value) {
+  const std::size_t pos = buffer.size();
+  buffer.resize(pos + sizeof value);
+  std::memcpy(buffer.data() + pos, &value, sizeof value);
+}
+
+template <typename T>
+bool ParsePod(const std::vector<std::uint8_t>& buffer, std::size_t& pos,
+              T& value) {
+  if (buffer.size() - pos < sizeof value) return false;
+  std::memcpy(&value, buffer.data() + pos, sizeof value);
+  pos += sizeof value;
+  return true;
+}
+
+}  // namespace
+
+OpJournal::~OpJournal() { Close(); }
+
+bool OpJournal::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return false;
+  sequence_ = 0;
+  if (std::fwrite(kMagic, 1, sizeof kMagic, file_) != sizeof kMagic) {
+    Close();
+    return false;
+  }
+  std::fflush(file_);
+  return true;
+}
+
+Status OpJournal::Append(std::span<const Operation> ops) {
+  if (file_ == nullptr) return Status::Error("journal is not open");
+
+  std::vector<std::uint8_t>& payload = scratch_;
+  payload.clear();
+  AppendPod(payload, sequence_);
+  AppendPod(payload, static_cast<std::uint32_t>(ops.size()));
+  for (const Operation& op : ops) {
+    AppendPod(payload, static_cast<std::uint8_t>(op.type));
+    AppendPod(payload, static_cast<std::uint32_t>(op.key.size()));
+    payload.insert(payload.end(), op.key.begin(), op.key.end());
+    AppendPod(payload, op.value);
+    AppendPod(payload, op.scan_count);
+  }
+
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = Crc32(payload.data(), payload.size());
+  if (std::fwrite(&len, sizeof len, 1, file_) != 1 ||
+      std::fwrite(&crc, sizeof crc, 1, file_) != 1) {
+    return Status::Error("journal header write failed");
+  }
+  // A crash mid-append leaves a torn record: the header is down but the
+  // payload is cut short, which is exactly what ReplayJournal's CRC check
+  // truncates.  Flush what made it out so the on-disk state is the one a
+  // dying process would leave.
+  if (FaultCheck(FaultSite::kCrashMidBatch)) {
+    std::fwrite(payload.data(), 1, payload.size() / 2, file_);
+    std::fflush(file_);
+    return Status::Error("simulated crash mid-batch (torn journal record)");
+  }
+  if (std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size() ||
+      std::fflush(file_) != 0) {
+    return Status::Error("journal payload write failed");
+  }
+  ++sequence_;
+  return Status::Ok();
+}
+
+void OpJournal::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::uint64_t ReplayJournal(const std::string& path,
+                            std::vector<Operation>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+
+  std::uint64_t records = 0;
+  char magic[sizeof kMagic];
+  if (std::fread(magic, 1, sizeof magic, f) != sizeof magic ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    std::fclose(f);
+    return 0;
+  }
+
+  const std::size_t checkpoint = out.size();
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    std::uint32_t len = 0;
+    std::uint32_t expected_crc = 0;
+    if (std::fread(&len, sizeof len, 1, f) != 1 ||
+        std::fread(&expected_crc, sizeof expected_crc, 1, f) != 1) {
+      break;  // clean EOF or torn header
+    }
+    if (len > kMaxPayloadBytes) break;  // corrupt length field
+    payload.resize(len);
+    if (len > 0 && std::fread(payload.data(), 1, len, f) != len) break;
+    if (Crc32(payload.data(), payload.size()) != expected_crc) break;
+
+    // Decode the payload.  A record that passed its CRC but does not parse
+    // is treated like corruption: stop, dropping this record's partial ops.
+    std::size_t pos = 0;
+    std::uint64_t sequence = 0;
+    std::uint32_t op_count = 0;
+    if (!ParsePod(payload, pos, sequence) ||
+        !ParsePod(payload, pos, op_count) || sequence != records) {
+      break;
+    }
+    const std::size_t record_start = out.size();
+    bool record_ok = true;
+    for (std::uint32_t i = 0; i < op_count; ++i) {
+      std::uint8_t type = 0;
+      std::uint32_t key_len = 0;
+      Operation op;
+      if (!ParsePod(payload, pos, type) || type > 3 ||
+          !ParsePod(payload, pos, key_len) ||
+          payload.size() - pos < key_len) {
+        record_ok = false;
+        break;
+      }
+      op.type = static_cast<OpType>(type);
+      op.key.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                    payload.begin() + static_cast<std::ptrdiff_t>(pos) +
+                        key_len);
+      pos += key_len;
+      if (!ParsePod(payload, pos, op.value) ||
+          !ParsePod(payload, pos, op.scan_count)) {
+        record_ok = false;
+        break;
+      }
+      out.push_back(std::move(op));
+    }
+    if (!record_ok || pos != payload.size()) {
+      out.resize(record_start);
+      break;
+    }
+    ++records;
+  }
+  std::fclose(f);
+  if (records == 0) out.resize(checkpoint);
+  return records;
+}
+
+}  // namespace dcart::resilience

@@ -1,0 +1,65 @@
+// Write-ahead operation journal: the durability half of the fault-tolerant
+// execution layer.
+//
+// Before a batch executes, its operations are appended as one framed record
+// and flushed; a batch is *acknowledged* once its record is fully on disk.
+// After a crash, recovery loads the latest valid SaveTree snapshot and
+// replays the journal tail — the CRC framing makes a torn or bit-flipped
+// tail record detectable, so it is truncated rather than trusted.
+//
+// Format (little-endian; per-op encoding shared with the DCWTRC02 trace
+// format in workload/trace_io):
+//   magic "DCJRNL01"
+//   record:  u32 payload_len, u32 crc32(payload), payload
+//   payload: u64 sequence, u32 op_count,
+//            per op: u8 type, u32 key_len, key bytes, u64 value,
+//                    u32 scan_count
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/ops.h"
+
+namespace dcart::resilience {
+
+class OpJournal {
+ public:
+  OpJournal() = default;
+  ~OpJournal();
+
+  OpJournal(const OpJournal&) = delete;
+  OpJournal& operator=(const OpJournal&) = delete;
+
+  /// Create/truncate the journal at `path` and write the magic.
+  bool Open(const std::string& path);
+
+  /// Append one record covering `ops` and flush it to the OS.  On a torn
+  /// write (injected kCrashMidBatch / kFileShortWrite, or a real I/O error)
+  /// the record is left incomplete on disk and an error is returned — the
+  /// batch is NOT acknowledged, and recovery will truncate the tear.
+  Status Append(std::span<const Operation> ops);
+
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  std::uint64_t records() const { return sequence_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t sequence_ = 0;
+  std::vector<std::uint8_t> scratch_;  // payload build buffer, reused
+};
+
+/// Replay the valid prefix of the journal at `path` into `out` (appending).
+/// Stops at EOF, the first torn record, a CRC mismatch, or a malformed
+/// payload — everything before the stop point is intact by construction.
+/// Returns the number of complete records consumed (0 for a missing or
+/// unrecognizable file).
+std::uint64_t ReplayJournal(const std::string& path,
+                            std::vector<Operation>& out);
+
+}  // namespace dcart::resilience

@@ -1,0 +1,246 @@
+#include "resilience/resilient_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "art/serialize.h"
+#include "resilience/fault_injector.h"
+
+namespace dcart::resilience {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Parse "<stem>-<N><suffix>" into N; nullopt for anything else.
+std::optional<std::uint64_t> ParseGeneration(const std::string& filename,
+                                             const std::string& stem,
+                                             const std::string& suffix) {
+  if (filename.size() <= stem.size() + suffix.size()) return std::nullopt;
+  if (filename.compare(0, stem.size(), stem) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = filename.substr(
+      stem.size(), filename.size() - stem.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+void ApplySerialToTree(art::Tree& tree, const Operation& op) {
+  switch (op.type) {
+    case OpType::kRead:
+      break;
+    case OpType::kWrite:
+      tree.Insert(op.key, op.value);
+      break;
+    case OpType::kRemove:
+      tree.Remove(op.key);
+      break;
+    case OpType::kScan:
+      break;  // scans do not change state
+  }
+}
+
+void MergeResults(ExecutionResult& total, ExecutionResult&& batch) {
+  total.stats.Merge(batch.stats);
+  total.seconds += batch.seconds;
+  total.energy_joules += batch.energy_joules;
+  total.phase_breakdown.combine_seconds +=
+      batch.phase_breakdown.combine_seconds;
+  total.phase_breakdown.traverse_seconds +=
+      batch.phase_breakdown.traverse_seconds;
+  total.phase_breakdown.trigger_seconds +=
+      batch.phase_breakdown.trigger_seconds;
+  total.phase_breakdown.other_seconds += batch.phase_breakdown.other_seconds;
+  total.latency_ns.Merge(batch.latency_ns);
+  total.reads_hit += batch.reads_hit;
+  total.status.Update(batch.status);
+  total.demoted_to_serial |= batch.demoted_to_serial;
+  total.parallel_failures += batch.parallel_failures;
+  total.bucket_retries += batch.bucket_retries;
+  total.invariant_breaches += batch.invariant_breaches;
+}
+
+}  // namespace
+
+ResilientEngine::ResilientEngine(ResilienceOptions options,
+                                 dcartc::DcartCpConfig runtime)
+    : options_(std::move(options)),
+      runtime_config_(runtime),
+      engine_(std::make_unique<dcartc::DcartCpEngine>(runtime)) {}
+
+ResilientEngine::~ResilientEngine() = default;
+
+std::string ResilientEngine::SnapshotPath(std::uint64_t generation) const {
+  return options_.dir + "/snapshot-" + std::to_string(generation) + ".tree";
+}
+
+std::string ResilientEngine::JournalPath(std::uint64_t generation) const {
+  return options_.dir + "/journal-" + std::to_string(generation) + ".log";
+}
+
+Status ResilientEngine::Checkpoint() {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  const std::uint64_t next = generation_ + 1;
+  // Write-then-rename: a crash during the write leaves only a .tmp file,
+  // which recovery never considers, so a half-written snapshot can never
+  // shadow a good older generation.
+  const std::string tmp = SnapshotPath(next) + ".tmp";
+  if (!art::SaveTree(engine_->tree(), tmp)) {
+    std::remove(tmp.c_str());
+    return Status::Error("snapshot write failed: " + tmp);
+  }
+  fs::rename(tmp, SnapshotPath(next), ec);
+  if (ec) return Status::Error("snapshot rename failed: " + tmp);
+  if (!journal_.Open(JournalPath(next))) {
+    return Status::Error("journal rollover failed: " + JournalPath(next));
+  }
+  generation_ = next;
+  batches_since_snapshot_ = 0;
+  // Prune generations that recovery can no longer need: keeping the last K
+  // snapshots requires journals from the oldest kept generation forward.
+  if (generation_ > options_.keep_generations) {
+    const std::uint64_t last_dead = generation_ - options_.keep_generations;
+    for (std::uint64_t g = last_dead; g >= 1; --g) {
+      std::error_code ignored;
+      const bool s = fs::remove(SnapshotPath(g), ignored);
+      const bool j = fs::remove(JournalPath(g), ignored);
+      if (!s && !j) break;  // older generations already pruned
+    }
+  }
+  return Status::Ok();
+}
+
+void ResilientEngine::Load(
+    const std::vector<std::pair<Key, art::Value>>& items) {
+  engine_->Load(items);
+  crashed_ = false;
+  if (durable()) {
+    Checkpoint();  // generation 1: the loaded image is the recovery floor
+  }
+}
+
+ExecutionResult ResilientEngine::Run(std::span<const Operation> ops,
+                                     const RunConfig& config) {
+  ExecutionResult result;
+  result.platform = "cpu";
+  result.wallclock = true;
+
+  FaultInjector& injector = FaultInjector::Global();
+  if (config.faults.Enabled()) injector.Arm(config.faults);
+  // The inner engine must not re-arm (that would reset the injector's
+  // counters every batch and break trigger_at determinism across batches).
+  RunConfig inner = config;
+  inner.faults = FaultPlan{};
+
+  if (crashed_) {
+    result.status =
+        Status::Error("engine is crashed; call Recover() before Run()");
+    return result;
+  }
+  // Durable mode requires an open journal: roll one on first use so a
+  // Run() without a prior Load() still journals from an empty snapshot.
+  if (durable() && generation_ == 0) {
+    result.status.Update(Checkpoint());
+    if (!result.status.ok()) return result;
+  }
+
+  const std::size_t batch_size = std::max<std::size_t>(1, config.batch_size);
+  for (std::size_t begin = 0; begin < ops.size(); begin += batch_size) {
+    const std::size_t end = std::min(ops.size(), begin + batch_size);
+    const std::span<const Operation> batch = ops.subspan(begin, end - begin);
+
+    if (FaultCheck(FaultSite::kCrashAtBatchBoundary)) {
+      crashed_ = true;
+      journal_.Close();  // the dying process takes its descriptor with it
+      result.status.Update(
+          Status::Error("simulated crash at batch boundary"));
+      break;
+    }
+    if (durable()) {
+      const Status journaled = journal_.Append(batch);
+      if (!journaled.ok()) {
+        // Torn record (crash mid-append) or real I/O failure: the batch is
+        // not acknowledged and must not execute — recovery would lose it.
+        crashed_ = true;
+        journal_.Close();
+        result.status.Update(journaled);
+        break;
+      }
+    }
+    MergeResults(result, engine_->Run(batch, inner));
+    result.ops_acknowledged += batch.size();
+    if (durable() && ++batches_since_snapshot_ >=
+                         std::max<std::size_t>(1,
+                                               options_.snapshot_every_batches)) {
+      result.status.Update(Checkpoint());
+      if (!result.status.ok()) break;
+    }
+  }
+  return result;
+}
+
+std::optional<art::Value> ResilientEngine::Lookup(KeyView key) const {
+  return engine_->Lookup(key);
+}
+
+bool ResilientEngine::Recover() {
+  if (!durable()) return false;
+  recovered_ops_ = 0;
+  journal_.Close();
+
+  // Enumerate snapshot generations present on disk, newest first.
+  std::vector<std::uint64_t> generations;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const auto gen = ParseGeneration(entry.path().filename().string(),
+                                     "snapshot-", ".tree");
+    if (gen.has_value()) generations.push_back(*gen);
+  }
+  std::sort(generations.rbegin(), generations.rend());
+
+  for (std::uint64_t gen : generations) {
+    art::Tree tree;
+    if (!art::LoadTree(SnapshotPath(gen), tree)) continue;  // corrupt: older
+    // Replay every journal from this generation forward, in order.  Each
+    // journal's CRC framing truncates a torn tail; a missing journal for
+    // the snapshot's own generation means no batch was acknowledged after
+    // the checkpoint, which is fine.
+    std::uint64_t max_gen = gen;
+    for (std::uint64_t g : generations) max_gen = std::max(max_gen, g);
+    std::vector<Operation> tail;
+    for (std::uint64_t g = gen; g <= max_gen + 1; ++g) {
+      ReplayJournal(JournalPath(g), tail);
+    }
+    for (const Operation& op : tail) ApplySerialToTree(tree, op);
+    recovered_ops_ = tail.size();
+
+    // Rebuild the runtime from the recovered image (Load() also pre-warms
+    // the shortcut tables, exactly as a restarted service would).
+    std::vector<std::pair<Key, art::Value>> items;
+    items.reserve(tree.size());
+    tree.ScanFrom({}, [&items](KeyView key, art::Value value) {
+      items.emplace_back(Key(key.begin(), key.end()), value);
+      return true;
+    });
+    engine_ = std::make_unique<dcartc::DcartCpEngine>(runtime_config_);
+    engine_->Load(items);
+    crashed_ = false;
+    generation_ = max_gen;  // checkpoint below bumps past every old file
+    batches_since_snapshot_ = 0;
+    return Checkpoint().ok();
+  }
+  return false;
+}
+
+}  // namespace dcart::resilience

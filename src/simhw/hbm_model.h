@@ -22,6 +22,8 @@ class HbmModel {
 
   std::uint64_t total_accesses() const { return accesses_; }
   std::uint64_t total_bytes() const { return bytes_; }
+  /// Injected memory faults absorbed (ECC re-reads + latency spikes).
+  std::uint64_t total_faults() const { return faults_; }
 
   /// Earliest time every channel is free (the drain point).
   double DrainTime() const;
@@ -40,6 +42,7 @@ class HbmModel {
   std::vector<double> channel_free_at_;
   std::uint64_t accesses_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t faults_ = 0;
 };
 
 }  // namespace dcart::simhw

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "resilience/fault_injector.h"
+
 namespace dcart::simhw {
 
 NodeBuffer::NodeBuffer(std::size_t capacity_bytes, EvictionPolicy policy)
@@ -40,6 +42,14 @@ bool NodeBuffer::MakeRoom(std::size_t bytes, std::uint64_t incoming_value) {
 
 bool NodeBuffer::Access(std::uintptr_t id, std::size_t bytes,
                         std::uint64_t value) {
+  // An injected ECC event poisons the resident line: it must be dropped and
+  // refetched from memory, so the access falls through to the miss path.
+  // Correctness is untouched — only the hit/miss accounting (and therefore
+  // modeled cycles/energy) moves.
+  if (resilience::FaultCheck(resilience::FaultSite::kNodeBufferEcc)) {
+    Erase(id);
+    ++ecc_events_;
+  }
   const auto it = entries_.find(id);
   if (it != entries_.end()) {
     ++hits_;
@@ -82,6 +92,7 @@ void NodeBuffer::Reset() {
   misses_ = 0;
   evictions_ = 0;
   bypasses_ = 0;
+  ecc_events_ = 0;
 }
 
 }  // namespace dcart::simhw

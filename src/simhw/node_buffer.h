@@ -39,6 +39,8 @@ class NodeBuffer {
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
   std::uint64_t bypasses() const { return bypasses_; }
+  /// Injected ECC events that forced a line drop + refetch.
+  std::uint64_t ecc_events() const { return ecc_events_; }
   std::size_t bytes_resident() const { return bytes_resident_; }
   std::size_t capacity_bytes() const { return capacity_bytes_; }
   double HitRate() const {
@@ -71,6 +73,7 @@ class NodeBuffer {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t bypasses_ = 0;
+  std::uint64_t ecc_events_ = 0;
 };
 
 }  // namespace dcart::simhw

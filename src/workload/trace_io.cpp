@@ -5,11 +5,17 @@
 #include <cstring>
 #include <memory>
 
+#include "resilience/fault_injector.h"
+
 namespace dcart {
 
 namespace {
 
 constexpr char kMagic[8] = {'D', 'C', 'W', 'T', 'R', 'C', '0', '2'};
+// Smallest possible load item (u32 key_len + u64 value) and operation
+// (u8 type + u32 key_len + u64 value + u32 scan_count) on disk.
+constexpr std::uint64_t kMinItemBytes = 4 + 8;
+constexpr std::uint64_t kMinOpBytes = 1 + 4 + 8 + 4;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -18,12 +24,32 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
+/// The injected short write/read models a crash or full disk mid-transfer:
+/// half the bytes move, then the call fails — producing exactly the torn
+/// files the loader bounds checks must survive.
 bool WriteBytes(std::FILE* f, const void* data, std::size_t n) {
+  if (resilience::FaultCheck(resilience::FaultSite::kFileShortWrite)) {
+    if (n > 1) std::fwrite(data, 1, n / 2, f);
+    return false;
+  }
   return std::fwrite(data, 1, n, f) == n;
 }
 
 bool ReadBytes(std::FILE* f, void* data, std::size_t n) {
+  if (resilience::FaultCheck(resilience::FaultSite::kFileShortRead)) {
+    if (n > 1) std::fread(data, 1, n / 2, f);
+    return false;
+  }
   return std::fread(data, 1, n, f) == n;
+}
+
+/// Bytes from the current position to EOF, or -1 when unknowable.
+long RemainingBytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(f);
+  if (std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return end >= pos ? end - pos : -1;
 }
 
 template <typename T>
@@ -44,8 +70,15 @@ bool WriteKey(std::FILE* f, const Key& key) {
 bool ReadKey(std::FILE* f, Key& key) {
   std::uint32_t len = 0;
   if (!ReadPod(f, len)) return false;
-  // Keys beyond 1 MiB indicate a corrupt file, not a real key.
+  // Keys beyond 1 MiB indicate a corrupt file, not a real key; so does a
+  // length the file's remaining bytes cannot possibly cover.
   if (len > (1u << 20)) return false;
+  if (len > 0) {
+    const long remaining = RemainingBytes(f);
+    if (remaining < 0 || len > static_cast<std::uint64_t>(remaining)) {
+      return false;
+    }
+  }
   key.resize(len);
   return len == 0 || ReadBytes(f, key.data(), len);
 }
@@ -97,6 +130,13 @@ bool LoadWorkload(const std::string& path, Workload& out) {
   }
   std::uint64_t load_count = 0;
   if (!ReadPod(f.get(), load_count)) return false;
+  // Corrupt counts must not drive allocations the file cannot back: cap
+  // every count by what the remaining bytes could physically encode.
+  long remaining = RemainingBytes(f.get());
+  if (remaining < 0 ||
+      load_count > static_cast<std::uint64_t>(remaining) / kMinItemBytes) {
+    return false;
+  }
   out.load_items.reserve(load_count);
   for (std::uint64_t i = 0; i < load_count; ++i) {
     Key key;
@@ -112,11 +152,19 @@ bool LoadWorkload(const std::string& path, Workload& out) {
     out = Workload{};
     return false;
   }
+  remaining = RemainingBytes(f.get());
+  if (remaining < 0 ||
+      op_count > static_cast<std::uint64_t>(remaining) / kMinOpBytes) {
+    out = Workload{};
+    return false;
+  }
   out.ops.reserve(op_count);
   for (std::uint64_t i = 0; i < op_count; ++i) {
     std::uint8_t type = 0;
     Operation op;
-    if (!ReadPod(f.get(), type) || type > 2 || !ReadKey(f.get(), op.key) ||
+    // kRemove encodes as 3 — `type > 3` (not > 2) or removes in a saved
+    // trace would be rejected as corruption on the way back in.
+    if (!ReadPod(f.get(), type) || type > 3 || !ReadKey(f.get(), op.key) ||
         !ReadPod(f.get(), op.value) || !ReadPod(f.get(), op.scan_count)) {
       out = Workload{};
       return false;
