@@ -1,6 +1,5 @@
 #include "art/serialize.h"
 
-#include <cassert>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -87,7 +86,9 @@ bool SaveTree(const Tree& tree, const std::string& path) {
 }
 
 bool LoadTree(const std::string& path, Tree& out) {
-  assert(out.empty() && "LoadTree requires an empty tree");
+  // Refuse (rather than debug-assert) so a release build cannot silently
+  // merge a snapshot into a non-empty tree.
+  if (!out.empty()) return false;
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) return false;
   char magic[sizeof kMagic];

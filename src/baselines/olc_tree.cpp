@@ -93,10 +93,19 @@ bool OlcTree::Insert(KeyView key, art::Value value, std::size_t tid,
   }
 }
 
+// NO_THREAD_SAFETY_ANALYSIS justification: optimistic lock coupling holds
+// the parent's lock *conditionally* (`if (parent) ...` on every acquire and
+// release), and clang's analysis does not model conditionally-held
+// capabilities — every join point after an `if (parent)` would warn.  The
+// acquisition itself is also conditional through the `need_restart`
+// out-parameter, outside the analysis' try-lock model.  The lock discipline
+// of this function is checked dynamically by the TSan CI job
+// (parallel_runtime_test + olc_tree_test run under -fsanitize=thread).
 OlcTree::WriteOutcome OlcTree::TryInsert(KeyView key, art::Value value,
                                          std::size_t tid, SyncStats& stats,
                                          OpTracer* tracer,
-                                         bool cas_leaf_updates) {
+                                         bool cas_leaf_updates)
+    NO_THREAD_SAFETY_ANALYSIS {
   bool rs = false;  // need_restart flag threaded through the lock protocol
 
   std::uintptr_t root_raw = root_.load(std::memory_order_acquire);
@@ -349,8 +358,13 @@ bool OlcTree::Remove(KeyView key, std::size_t tid, SyncStats& stats) {
   }
 }
 
+// NO_THREAD_SAFETY_ANALYSIS justification: same conditionally-held
+// parent/sibling lock chains as TryInsert (see the comment there); the
+// three-node unlock ladders on the merge path are beyond the analysis'
+// conditional-capability model.  Checked dynamically by the TSan CI job.
 OlcTree::RemoveOutcome OlcTree::TryRemove(KeyView key, std::size_t tid,
-                                          SyncStats& stats) {
+                                          SyncStats& stats)
+    NO_THREAD_SAFETY_ANALYSIS {
   bool rs = false;
 
   std::uintptr_t root_raw = root_.load(std::memory_order_acquire);

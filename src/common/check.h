@@ -1,0 +1,27 @@
+// Release-reachable invariant checks.
+//
+// `assert` compiles to nothing under NDEBUG, which is exactly the build the
+// benchmarks and the fault-injection suite run — an invariant that only
+// holds in debug builds is not an invariant.  DCART_CHECK stays armed in
+// every build: on violation it prints the site and message to stderr and
+// aborts, so a corrupted model state dies loudly instead of silently
+// producing wrong cycle counts.  dcart_lint (rule DL004) rejects bare
+// `assert(` in release-reachable runtime code and points here.
+//
+// Use `assert` only for debug-build-only sanity checks in code the release
+// binaries never reach with untrusted state (node-local structure checks in
+// the tree internals); use DCART_CHECK where a violated precondition would
+// otherwise be silently ignored in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DCART_CHECK(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "DCART_CHECK failed at %s:%d: %s (%s)\n", \
+                   __FILE__, __LINE__, msg, #cond);                  \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)

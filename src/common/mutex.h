@@ -1,0 +1,54 @@
+// Annotated mutex wrapper for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// so clang's analysis cannot see acquisitions made through them: a
+// GUARDED_BY(std_mutex) field would warn on every access even when the code
+// is correct.  This thin wrapper re-exposes std::mutex with the attributes
+// attached, plus a SCOPED_CAPABILITY guard.  Condition variables pair with
+// it as std::condition_variable_any, which accepts any BasicLockable — the
+// wait() round-trip releases and reacquires, so the analysis' view of held
+// capabilities is unchanged across the call.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dcart {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tell the analysis the capability is held without acquiring it (used
+  /// after protocol-level proofs the analysis cannot follow).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex, visible to the analysis as a scoped capability.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with the annotated Mutex.
+using CondVar = std::condition_variable_any;
+
+}  // namespace dcart

@@ -2,6 +2,11 @@
 // return.  Used as the error channel of the fault-tolerant execution layer:
 // instead of asserting (a no-op in release builds) or aborting, runtimes
 // record what went wrong here and surface it through ExecutionResult.
+//
+// The class is [[nodiscard]]: a dropped Status is a swallowed failure (a
+// recovery that silently didn't happen), so every Status-returning call must
+// either propagate it (usually via Update), branch on ok(), or explicitly
+// document why the error is unrecoverable-and-ignorable.
 #pragma once
 
 #include <string>
@@ -9,7 +14,7 @@
 
 namespace dcart {
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;  // ok
 
@@ -24,11 +29,18 @@ class Status {
   bool ok() const { return ok_; }
   const std::string& message() const { return message_; }
 
-  /// Keep the first error: merging an error into an ok status adopts it,
-  /// anything merged into an existing error is dropped (the earliest
-  /// failure is the one that explains the rest).
+  /// Merge another status in, keeping the *first* error as the primary one
+  /// (the earliest failure is the one that explains the rest) but appending
+  /// every subsequent error's message ("; then: ...") so a failure chain —
+  /// crash, then failed checkpoint, then failed rollover — survives into
+  /// the recovery logs instead of being silently discarded.
   void Update(const Status& other) {
-    if (ok_ && !other.ok_) *this = other;
+    if (other.ok_) return;
+    if (ok_) {
+      *this = other;
+    } else {
+      message_ += "; then: " + other.message_;
+    }
   }
 
  private:

@@ -1,0 +1,90 @@
+// Clang thread-safety-analysis macros (no-ops on other compilers).
+//
+// These attach the repo's locking contracts to the types that carry them so
+// `clang -Werror=thread-safety` can prove, at compile time, that every
+// access to a GUARDED_BY field happens under its capability and that every
+// acquired capability is released on every path.  GCC compiles the same
+// code with the macros expanded to nothing; the CI `static-analysis` job is
+// the clang build that actually enforces them.
+//
+// The annotation set follows the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the subset
+// the repo uses is defined, but the full vocabulary is kept so future
+// annotations need no new plumbing.
+//
+// What the analysis can and cannot see here:
+//   - Mutexes (common/mutex.h) are fully modeled: acquisition, release,
+//     scoped guards, GUARDED_BY fields.
+//   - The optimistic VersionLock (sync/version_lock.h) acquires
+//     conditionally through a `need_restart` out-parameter, which is
+//     outside the analysis' boolean-try-lock model.  Call sites that have
+//     checked `need_restart` assert the capability with
+//     VersionLock::AssertHeld(), after which the analysis tracks the
+//     release; whole-function escapes use NO_THREAD_SAFETY_ANALYSIS with a
+//     justification comment (required by tools/dcart_lint rule DL006 in
+//     spirit and audited by docs/ANALYSIS.md).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DCART_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DCART_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#define CAPABILITY(x) DCART_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY DCART_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) DCART_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) DCART_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) DCART_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Whole-function escape hatch.  Every use MUST carry a comment explaining
+// why the function's locking discipline is outside the analysis' model and
+// what checks it dynamically (usually the TSan CI job).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DCART_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

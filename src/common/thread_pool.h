@@ -5,15 +5,19 @@
 // pool is deliberately simple (mutex + condvar queue): the experiments
 // measure the engines' own synchronization behaviour, so the pool must not
 // add clever lock-free machinery of its own that would muddy the counters.
+//
+// All queue state is GUARDED_BY(mutex_); the clang thread-safety build
+// proves every access happens under the lock (see common/mutex.h).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dcart {
 
@@ -28,26 +32,27 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueue one task.  Pair with WaitIdle() to join a batch.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Block until the queue is empty and all workers are idle.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mutex_);
 
   /// Run `task(worker_index)` once on each of `parallelism` workers and wait.
   /// `parallelism` is clamped to the pool size.
   void RunParallel(std::size_t parallelism,
-                   const std::function<void(std::size_t)>& task);
+                   const std::function<void(std::size_t)>& task)
+      EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  // written once in the constructor
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  CondVar work_available_;
+  CondVar all_idle_;
+  std::size_t active_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dcart

@@ -43,6 +43,7 @@
 
 #include "art/tree.h"
 #include "baselines/engine.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace dcart::dcartc {
@@ -121,6 +122,19 @@ class DcartCpEngine : public IndexEngine {
   bool demoted_to_serial() const { return demoted_; }
 
  private:
+  // Thread-safety contract.  The engine itself is externally synchronized
+  // (one Run() at a time); inside RunBatch the discipline is *ownership
+  // partitioning*, which clang's lock-based analysis cannot express — the
+  // guard is "which worker claimed the bucket", not a mutex:
+  //   - Every engine-level member below is written only by the coordinating
+  //     thread, outside the parallel region (RunBatch is called serially).
+  //   - During the parallel region, a worker touches exactly the Bucket it
+  //     claimed from the shared cursor (the only cross-thread write, an
+  //     atomic fetch_add) plus that bucket's ShortcutTable and disjoint
+  //     root-child subtree; WorkerResult is indexed by worker id.
+  //   - The only mutex in the phase lives inside ThreadPool (fully
+  //     annotated, see common/thread_pool.h).
+  // The TSan CI job checks the partitioning dynamically on every push.
   struct Bucket;
   struct WorkerResult;
 

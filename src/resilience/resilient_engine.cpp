@@ -125,8 +125,12 @@ void ResilientEngine::Load(
     const std::vector<std::pair<Key, art::Value>>& items) {
   engine_->Load(items);
   crashed_ = false;
+  load_status_ = Status::Ok();
   if (durable()) {
-    Checkpoint();  // generation 1: the loaded image is the recovery floor
+    // Generation 1: the loaded image is the recovery floor.  Load() has no
+    // error channel (the IndexEngine interface is void here), so a failed
+    // checkpoint is parked in load_status_ and surfaced by the next Run().
+    load_status_.Update(Checkpoint());
   }
 }
 
@@ -146,6 +150,14 @@ ExecutionResult ResilientEngine::Run(std::span<const Operation> ops,
   if (crashed_) {
     result.status =
         Status::Error("engine is crashed; call Recover() before Run()");
+    return result;
+  }
+  // A checkpoint failure during Load() had nowhere to go (void signature);
+  // report it here exactly once.  generation_ is still 0 in that case, so
+  // the rollover below retries the checkpoint before any batch executes.
+  if (!load_status_.ok()) {
+    result.status.Update(load_status_);
+    load_status_ = Status::Ok();
     return result;
   }
   // Durable mode requires an open journal: roll one on first use so a
@@ -236,6 +248,7 @@ bool ResilientEngine::Recover() {
     engine_ = std::make_unique<dcartc::DcartCpEngine>(runtime_config_);
     engine_->Load(items);
     crashed_ = false;
+    load_status_ = Status::Ok();  // recovery supersedes any parked failure
     generation_ = max_gen;  // checkpoint below bumps past every old file
     batches_since_snapshot_ = 0;
     return Checkpoint().ok();

@@ -46,6 +46,12 @@ struct ResilienceOptions {
   std::size_t keep_generations = 2;
 };
 
+// Thread-safety contract: the engine is thread-compatible, not thread-safe —
+// Load/Run/Recover mutate the journal, generation counter and inner engine
+// without internal locking and must be called from one thread at a time
+// (the service loop).  Lookup() is safe concurrently with other Lookups but
+// not with Run().  All parallelism lives *inside* DcartCpEngine::Run (see
+// parallel_runtime.h for its ownership-partitioning contract).
 class ResilientEngine : public IndexEngine {
  public:
   explicit ResilientEngine(ResilienceOptions options = {},
@@ -85,6 +91,9 @@ class ResilientEngine : public IndexEngine {
   std::unique_ptr<dcartc::DcartCpEngine> engine_;
   OpJournal journal_;
   std::uint64_t generation_ = 0;  // 0 = no checkpoint taken yet
+  // Checkpoint failure from Load() (whose interface signature is void),
+  // surfaced by the next Run() instead of being silently dropped.
+  Status load_status_;
   std::size_t batches_since_snapshot_ = 0;
   bool crashed_ = false;
   std::uint64_t recovered_ops_ = 0;

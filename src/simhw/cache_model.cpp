@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
+#include "common/check.h"
 
 namespace dcart::simhw {
 
 CacheModel::CacheModel(std::size_t capacity_bytes, std::size_t line_bytes,
                        std::size_t associativity)
     : line_bytes_(line_bytes), associativity_(associativity) {
-  assert(std::has_single_bit(line_bytes));
+  DCART_CHECK(std::has_single_bit(line_bytes),
+              "cache line size must be a power of two");
   num_sets_ = std::max<std::size_t>(1, capacity_bytes /
                                            (line_bytes * associativity));
   // Round sets down to a power of two for cheap indexing.

@@ -1,6 +1,6 @@
 #include "simhw/conflict_model.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace dcart::simhw {
 
@@ -10,7 +10,8 @@ ConflictModel::ConflictModel(std::size_t window_size, SyncProtocol protocol)
 void ConflictModel::Evict() {
   const WindowEntry& old = window_.front();
   auto it = counts_.find(old.node);
-  assert(it != counts_.end());
+  DCART_CHECK(it != counts_.end(),
+              "window entry evicted for a node with no live count");
   if (old.is_write) {
     --it->second.writes;
   } else {

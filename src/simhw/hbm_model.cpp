@@ -1,7 +1,6 @@
 #include "simhw/hbm_model.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "resilience/fault_injector.h"
 

@@ -1,6 +1,5 @@
 #include "simhw/node_buffer.h"
 
-#include <cassert>
 
 #include "resilience/fault_injector.h"
 

@@ -16,6 +16,7 @@
 
 #include "art/node.h"
 #include "common/bytes.h"
+#include "common/thread_annotations.h"
 #include "sync/atomic_util.h"
 #include "sync/version_lock.h"
 
@@ -127,21 +128,27 @@ bool CEnumerateChildren(const CNode* node,
                         const std::function<bool(std::uint8_t, CRef)>& fn);
 
 // --- Writer-side operations (caller holds the node's write lock) ----------
+//
+// REQUIRES(node->lock) lets the clang thread-safety build prove the caller
+// established exclusivity first — either a successful conditional
+// acquisition followed by VersionLock::AssertHeld(), or a thread-private
+// (not yet published) node via AssertThreadPrivate().
 
-bool CIsFull(const CNode* node);
-void CAddChild(CNode* node, std::uint8_t b, CRef child);
+bool CIsFull(const CNode* node) REQUIRES(node->lock);
+void CAddChild(CNode* node, std::uint8_t b, CRef child) REQUIRES(node->lock);
 
 /// Remove the child for byte `b`.  Precondition: present; caller holds the
 /// write lock.  Concurrent optimistic readers may observe transient
 /// duplicates while N4/N16 entries shift; their version validation catches
 /// it.
-void CRemoveChild(CNode* node, std::uint8_t b);
+void CRemoveChild(CNode* node, std::uint8_t b) REQUIRES(node->lock);
 
-CNode* CGrown(const CNode* node);
+CNode* CGrown(const CNode* node) REQUIRES(node->lock);
 
-void CSetPrefix(CNode* node, const std::uint8_t* bytes, std::uint32_t len);
+void CSetPrefix(CNode* node, const std::uint8_t* bytes, std::uint32_t len)
+    REQUIRES(node->lock);
 void CSetPrefixFromKey(CNode* node, KeyView full_key, std::size_t offset,
-                       std::uint32_t len);
+                       std::uint32_t len) REQUIRES(node->lock);
 
 void CDeleteNode(CNode* node);
 void CDestroySubtree(CRef ref);

@@ -12,6 +12,8 @@
 #include <functional>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace dcart::sync {
 
 class EpochManager {
@@ -69,6 +71,14 @@ class EpochManager {
     std::uint64_t epoch;
   };
 
+  // Thread-safety contract (not expressible as a GUARDED_BY: the guard is
+  // *thread identity*, not a lock): `local_epoch` is written only by the
+  // owning thread and read by any thread (atomic); `retired` and
+  // `ops_since_scan` are touched only by the owning thread — callers must
+  // pass their own `tid` to Enter/Exit/Retire/Scan.  DrainAll() requires
+  // external quiescence (no thread inside an epoch region), which the
+  // callers establish with a pool join.  The TSan CI job checks this
+  // ownership discipline dynamically.
   struct alignas(64) ThreadSlot {
     std::atomic<std::uint64_t> local_epoch{kIdle};
     std::vector<Retired> retired;  // touched only by the owning thread

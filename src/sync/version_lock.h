@@ -13,9 +13,11 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 
 namespace dcart::sync {
 
@@ -33,7 +35,15 @@ struct SyncStats {
   }
 };
 
-class VersionLock {
+// Declared a capability so clang's thread-safety analysis can check the
+// write side: CNode mutators carry REQUIRES(node->lock), and WriteUnlock /
+// WriteUnlockObsolete are releases.  Acquisition happens through a
+// `need_restart` out-parameter (the optimistic restart protocol), which the
+// analysis' try-lock model cannot express — so acquire paths are not
+// annotated; instead, call sites that have checked `need_restart` assert
+// the capability with AssertHeld(), and from that point the analysis tracks
+// the lock to its release on every path.
+class CAPABILITY("VersionLock") VersionLock {
  public:
   static constexpr std::uint64_t kLockedBit = 0b10;
   static constexpr std::uint64_t kObsoleteBit = 0b01;
@@ -107,16 +117,31 @@ class VersionLock {
   }
 
   /// Release: clears the locked bit and bumps the version.
-  void WriteUnlock(SyncStats& stats) {
+  void WriteUnlock(SyncStats& stats) RELEASE() {
     ++stats.atomic_ops;
     word_.fetch_add(kLockedBit, std::memory_order_release);
   }
 
   /// Release and mark the node dead (it was replaced; readers must restart).
-  void WriteUnlockObsolete(SyncStats& stats) {
+  void WriteUnlockObsolete(SyncStats& stats) RELEASE() {
     ++stats.atomic_ops;
     word_.fetch_add(kLockedBit | kObsoleteBit, std::memory_order_release);
   }
+
+  /// Inform the thread-safety analysis that this thread holds the write
+  /// lock.  Called immediately after a *successful* conditional acquisition
+  /// (i.e. once `need_restart` has been checked false); debug builds verify
+  /// the claim against the lock word.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+    assert((word_.load(std::memory_order_relaxed) & kLockedBit) != 0);
+  }
+
+  /// Like AssertHeld(), for nodes that are not yet published: a freshly
+  /// allocated node visible to exactly one thread satisfies the exclusive
+  /// capability vacuously (there is no lock bit to check — the node has
+  /// never been locked).  Only valid before the node is installed into a
+  /// shared slot.
+  void AssertThreadPrivate() const ASSERT_CAPABILITY(this) {}
 
   bool IsObsolete() const {
     return (word_.load(std::memory_order_acquire) & kObsoleteBit) != 0;

@@ -1,7 +1,7 @@
 #include "workload/generators.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -187,7 +187,7 @@ std::vector<MixPoint> PaperMixes() {
 }
 
 Workload MakeWorkload(WorkloadKind kind, const WorkloadConfig& config) {
-  assert(config.num_keys > 0);
+  DCART_CHECK(config.num_keys > 0, "a workload needs at least one key");
   std::vector<Key> universe;
   switch (kind) {
     case WorkloadKind::kIPGEO:

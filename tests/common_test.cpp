@@ -14,10 +14,39 @@
 #include "common/key_codec.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 
 namespace dcart {
 namespace {
+
+// --------------------------------------------------------------- status ----
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, UpdateAdoptsFirstError) {
+  Status s;
+  s.Update(Status::Ok());
+  EXPECT_TRUE(s.ok());
+  s.Update(Status::Error("disk full"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "disk full");
+}
+
+TEST(Status, UpdateChainsSubsequentErrorMessages) {
+  Status s = Status::Error("crash mid-batch");
+  s.Update(Status::Error("checkpoint failed"));
+  s.Update(Status::Ok());  // ok never erases or extends the chain
+  s.Update(Status::Error("journal rollover failed"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(),
+            "crash mid-batch; then: checkpoint failed; then: journal "
+            "rollover failed");
+}
 
 // ---------------------------------------------------------------- bytes ----
 

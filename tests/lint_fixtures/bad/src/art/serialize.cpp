@@ -1,0 +1,7 @@
+#include <cassert>
+#include <cstdio>
+
+bool SaveBlob(std::FILE* f, const void* data, unsigned long n) {
+  assert(f != nullptr);
+  return std::fwrite(data, 1, n, f) == n;
+}

@@ -1,0 +1,9 @@
+#include <mutex>
+
+namespace {
+std::mutex trigger_mutex;
+}
+
+void Trigger() {
+  std::lock_guard<std::mutex> hold(trigger_mutex);
+}

@@ -1,0 +1,5 @@
+#include <atomic>
+
+unsigned Peek(const std::atomic<unsigned>& counter) {
+  return RelaxedLoad(counter);
+}

@@ -1,0 +1,11 @@
+#include "resilience/fault_injector.h"
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlpha: return "alpha";
+    case FaultSite::kAlpha: return "alpha-dup";
+    case FaultSite::kGamma: return "alpha";
+    case FaultSite::kNumSites: break;
+  }
+  return "unknown";
+}

@@ -1,0 +1,10 @@
+#pragma once
+
+enum class FaultSite : unsigned {
+  kAlpha,
+  kBeta,
+  kGamma,
+  kNumSites
+};
+
+const char* FaultSiteName(FaultSite site);

@@ -1,0 +1,6 @@
+#include "resilience/fault_injector.h"
+
+bool FaultCheck(FaultSite site);
+
+bool AlphaCheck() { return FaultCheck(FaultSite::kAlpha); }
+bool BetaCheck() { return FaultCheck(FaultSite::kBeta); }

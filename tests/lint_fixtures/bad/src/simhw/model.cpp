@@ -1,0 +1,6 @@
+#include <cassert>
+
+void Check(int x) {
+  assert(x > 0);
+  static_assert(sizeof(int) >= 4, "int width");
+}

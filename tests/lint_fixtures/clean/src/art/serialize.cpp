@@ -1,0 +1,23 @@
+#include <cassert>
+#include <cstdio>
+
+namespace {
+
+bool ReadBytes(std::FILE* f, void* data, unsigned long n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+bool WriteBytes(std::FILE* f, const void* data, unsigned long n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+}  // namespace
+
+bool LoadBlob(std::FILE* f, void* data, unsigned long n) {
+  assert(n > 0);  // debug-only sanity check  // dcart-lint: allow(DL004)
+  return ReadBytes(f, data, n);
+}
+
+bool SaveBlob(std::FILE* f, const void* data, unsigned long n) {
+  return WriteBytes(f, data, n);
+}

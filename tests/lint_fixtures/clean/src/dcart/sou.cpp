@@ -1,0 +1,10 @@
+#include <atomic>
+
+namespace {
+std::atomic<unsigned> trigger_count{0};
+}
+
+// Lock-free trigger path: ownership partitioning, no blocking primitives.
+void Trigger() {
+  trigger_count.fetch_add(1, std::memory_order_relaxed);
+}

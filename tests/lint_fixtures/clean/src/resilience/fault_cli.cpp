@@ -1,0 +1,11 @@
+#include <string>
+
+#include "resilience/fault_injector.h"
+
+void RegisterFaultFlags() {
+  for (unsigned i = 0; i < static_cast<unsigned>(FaultSite::kNumSites); ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const std::string flag = std::string("fault-") + FaultSiteName(site);
+    (void)flag;
+  }
+}

@@ -1,0 +1,10 @@
+#include "resilience/fault_injector.h"
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlpha: return "alpha";
+    case FaultSite::kBeta: return "beta";
+    case FaultSite::kNumSites: break;
+  }
+  return "unknown";
+}

@@ -1,0 +1,9 @@
+#pragma once
+
+enum class FaultSite : unsigned {
+  kAlpha,
+  kBeta,
+  kNumSites
+};
+
+const char* FaultSiteName(FaultSite site);

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <atomic>
+
+// Allowlisted home of the relaxed-atomic helpers: DL002 permits
+// RelaxedLoad/RelaxedStore here and in the version-lock discipline files.
+template <typename T>
+T RelaxedLoad(const std::atomic<T>& value) {
+  return value.load(std::memory_order_relaxed);
+}
+
+template <typename T>
+void RelaxedStore(std::atomic<T>& value, T desired) {
+  value.store(desired, std::memory_order_relaxed);
+}

@@ -1,0 +1,15 @@
+#include <cstdio>
+
+namespace {
+
+bool WriteBytes(std::FILE* f, const void* data, unsigned long n) {
+  if (n == 0) return true;
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+}  // namespace
+
+bool SaveTraceHeader(std::FILE* f) {
+  const char magic[4] = {'D', 'C', 'T', 'R'};
+  return WriteBytes(f, magic, sizeof magic);
+}

@@ -1,0 +1,106 @@
+// Tests for the dcart_lint rule engine (tools/dcart_lint).
+//
+// Two fixture corpora under tests/lint_fixtures/ act as miniature repos:
+//   bad/   — one known violation per rule at a known line
+//   clean/ — compliant counterparts (allowlisted uses, helper-wrapped I/O,
+//            a suppressed assert) that must produce zero findings
+// plus the real source tree, which the CI static-analysis job requires to
+// be clean and which this test pins so a violation fails locally too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint.h"
+
+namespace dcart::lint {
+namespace {
+
+using Triple = std::tuple<std::string, std::string, std::size_t>;
+
+std::vector<Triple> Triples(const std::vector<Finding>& findings) {
+  std::vector<Triple> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.emplace_back(f.rule, f.file, f.line);
+  return out;
+}
+
+TEST(DcartLint, BadCorpusEveryRuleFiresAtTheExpectedLine) {
+  const auto findings =
+      RunLint(std::string(DCART_LINT_FIXTURE_ROOT) + "/bad");
+  const std::vector<Triple> expected = {
+      {kBareAssert, "src/art/serialize.cpp", 5},
+      {kRawIoOutsideHelper, "src/art/serialize.cpp", 6},
+      {kTriggerPhaseBlockingLock, "src/dcart/sou.cpp", 1},
+      {kTriggerPhaseBlockingLock, "src/dcart/sou.cpp", 4},
+      {kTriggerPhaseBlockingLock, "src/dcart/sou.cpp", 8},
+      {kRelaxedAtomicScope, "src/dcartc/relaxed_misuse.cpp", 4},
+      {kFaultSiteRegistry, "src/resilience/fault_cli.cpp", 0},
+      {kFaultSiteRegistry, "src/resilience/fault_injector.cpp", 0},
+      {kFaultSiteRegistry, "src/resilience/fault_injector.h", 4},
+      {kFaultSiteRegistry, "src/resilience/fault_injector.h", 5},
+      {kFaultSiteRegistry, "src/resilience/fault_injector.h", 6},
+      {kBareAssert, "src/simhw/model.cpp", 4},
+  };
+  EXPECT_EQ(Triples(findings), expected) << FormatFindings(findings);
+}
+
+TEST(DcartLint, BadCorpusMessagesNameTheDefect) {
+  const auto findings =
+      RunLint(std::string(DCART_LINT_FIXTURE_ROOT) + "/bad");
+  auto message_for = [&](const std::string& file, std::size_t line) {
+    for (const Finding& f : findings) {
+      if (f.file == file && f.line == line) return f.message;
+    }
+    return std::string();
+  };
+  // Registered twice, never registered, never referenced: three distinct
+  // registry defects with three distinct explanations.
+  EXPECT_NE(message_for("src/resilience/fault_injector.h", 4)
+                .find("registered 2 times"),
+            std::string::npos);
+  EXPECT_NE(message_for("src/resilience/fault_injector.h", 5)
+                .find("registered 0 times"),
+            std::string::npos);
+  EXPECT_NE(message_for("src/resilience/fault_injector.h", 6)
+                .find("no injection point"),
+            std::string::npos);
+  EXPECT_NE(message_for("src/resilience/fault_injector.cpp", 0)
+                .find("claimed by 2 enumerators"),
+            std::string::npos);
+}
+
+TEST(DcartLint, CleanCorpusHasZeroFalsePositives) {
+  const auto findings =
+      RunLint(std::string(DCART_LINT_FIXTURE_ROOT) + "/clean");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+// The clean corpus exercises every would-be false positive on purpose:
+// allowlisted RelaxedLoad/RelaxedStore, fread/fwrite inside the
+// ReadBytes/WriteBytes helpers, a static_assert, a registry-derived CLI,
+// and a `// dcart-lint: allow(DL004)` suppression.  This test documents
+// that inventory so a rule change that breaks one of them fails loudly.
+TEST(DcartLint, SuppressionCommentIsHonored) {
+  const auto findings =
+      RunLint(std::string(DCART_LINT_FIXTURE_ROOT) + "/clean");
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.rule, kBareAssert)
+        << "suppressed assert still reported: " << FormatFindings({f});
+  }
+}
+
+TEST(DcartLint, RealSourceTreeIsClean) {
+  const auto findings = RunLint(DCART_LINT_SOURCE_ROOT);
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(DcartLint, MissingRootYieldsNoFindings) {
+  const auto findings = RunLint("/nonexistent/path/for/dcart/lint");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+}  // namespace
+}  // namespace dcart::lint

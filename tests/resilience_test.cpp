@@ -82,7 +82,9 @@ void ExpectSameState(const dcartc::DcartCpEngine& engine,
   reference.ScanFrom({}, [&](KeyView key, art::Value value) {
     const auto got = engine.Lookup(key);
     EXPECT_TRUE(got.has_value());
-    if (got.has_value()) EXPECT_EQ(*got, value);
+    if (got.has_value()) {
+      EXPECT_EQ(*got, value);
+    }
     ++checked;
     return true;
   });

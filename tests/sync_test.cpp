@@ -159,6 +159,7 @@ TEST(Epoch, GuardIsRaii) {
 TEST(CNode, AddFindEnumerate) {
   CNode4 n;
   CLeaf l1(Key{1}, 10), l2(Key{2}, 20);
+  n.lock.AssertThreadPrivate();  // stack-local node: single-threaded test
   CAddChild(&n, 9, CRef::FromLeaf(&l1));
   CAddChild(&n, 4, CRef::FromLeaf(&l2));
   EXPECT_EQ(CFindChild(&n, 9).AsLeaf(), &l1);
@@ -176,6 +177,7 @@ TEST(CNode, GrowChainKeepsChildren) {
   std::vector<CLeaf*> leaves;
   CNode* node = new CNode4;
   for (int b = 0; b < 256; ++b) {
+    node->lock.AssertThreadPrivate();  // never published: test-local tree
     if (CIsFull(node)) {
       CNode* grown = CGrown(node);
       CDeleteNode(node);
@@ -199,6 +201,8 @@ TEST(CNode, MinimumFindsLeftmostLeaf) {
   CNode4 root;
   CNode4 child;
   CLeaf l1(Key{1, 1}, 11), l2(Key{1, 5}, 15), l3(Key{9}, 9);
+  child.lock.AssertThreadPrivate();  // stack-local nodes: no concurrency
+  root.lock.AssertThreadPrivate();
   CAddChild(&child, 1, CRef::FromLeaf(&l1));
   CAddChild(&child, 5, CRef::FromLeaf(&l2));
   CAddChild(&root, 9, CRef::FromLeaf(&l3));
@@ -209,6 +213,7 @@ TEST(CNode, MinimumFindsLeftmostLeaf) {
 TEST(CNode, PrefixRoundTrip) {
   CNode16 n;
   const Key key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  n.lock.AssertThreadPrivate();  // stack-local node: single-threaded test
   CSetPrefixFromKey(&n, key, 2, 13);
   EXPECT_EQ(n.prefix_len, 13u);
   EXPECT_EQ(n.stored_prefix_len, kMaxStoredPrefix);

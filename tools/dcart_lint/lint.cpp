@@ -1,0 +1,362 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace dcart::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct SourceFile {
+  std::string rel;                 // '/'-separated path relative to root
+  std::vector<std::string> raw;    // as on disk (suppression comments live here)
+  std::vector<std::string> code;   // raw with //-comments and /*...*/ stripped
+};
+
+/// Strip // and /* */ comments line by line (block-comment state carries
+/// across lines).  Characters are replaced by spaces so column/line numbers
+/// of the surviving code are unchanged.  String literals are not parsed:
+/// none of the rules' tokens plausibly appear inside one in this codebase,
+/// and a false hit is suppressible.
+std::vector<std::string> StripComments(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      if (line[i] == '/' && i + 1 < line.size()) {
+        if (line[i + 1] == '/') break;  // rest of line is a comment
+        if (line[i + 1] == '*') {
+          in_block = true;
+          ++i;
+          continue;
+        }
+      }
+      code[i] = line[i];
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool ReadLines(const fs::path& path, std::vector<std::string>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    out.push_back(line);
+  }
+  return true;
+}
+
+bool Suppressed(const SourceFile& file, std::size_t line_index,
+                const char* rule) {
+  if (line_index >= file.raw.size()) return false;
+  const std::string token = std::string("dcart-lint: allow(") + rule + ")";
+  return file.raw[line_index].find(token) != std::string::npos;
+}
+
+/// All .h/.cpp files under root/src, sorted by relative path.
+std::vector<SourceFile> LoadTree(const std::string& root) {
+  std::vector<SourceFile> files;
+  const fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(src, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cpp") continue;
+    SourceFile file;
+    file.rel = fs::relative(it->path(), root).generic_string();
+    if (!ReadLines(it->path(), file.raw)) continue;
+    file.code = StripComments(file.raw);
+    files.push_back(std::move(file));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  return files;
+}
+
+const SourceFile* Find(const std::vector<SourceFile>& files,
+                       const std::string& rel) {
+  for (const SourceFile& f : files) {
+    if (f.rel == rel) return &f;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------------ DL001 --
+// Fault-site registry: every FaultSite enumerator must have exactly one
+// FaultSiteName entry, a unique flag name, at least one injection point
+// (a FaultSite::kX reference outside the registry itself), and the CLI must
+// derive its --fault-* flags from the registry.
+void CheckFaultSiteRegistry(const std::vector<SourceFile>& files,
+                            std::vector<Finding>& findings) {
+  const std::string header_rel = "src/resilience/fault_injector.h";
+  const std::string impl_rel = "src/resilience/fault_injector.cpp";
+  const std::string cli_rel = "src/resilience/fault_cli.cpp";
+  const SourceFile* header = Find(files, header_rel);
+  const SourceFile* impl = Find(files, impl_rel);
+  if (header == nullptr || impl == nullptr) return;  // not in this corpus
+
+  // Enumerators, in declaration order, with their declaration lines.
+  static const std::regex enum_open(R"(enum\s+class\s+FaultSite\b)");
+  static const std::regex enumerator(R"(^\s*(k[A-Za-z0-9_]+)\s*[,}=])");
+  std::vector<std::pair<std::string, std::size_t>> sites;  // name, 1-based line
+  bool in_enum = false;
+  for (std::size_t i = 0; i < header->code.size(); ++i) {
+    const std::string& line = header->code[i];
+    if (!in_enum) {
+      if (std::regex_search(line, enum_open)) in_enum = true;
+      continue;
+    }
+    if (line.find("};") != std::string::npos) break;
+    std::smatch m;
+    if (std::regex_search(line, m, enumerator) && m[1] != "kNumSites") {
+      sites.emplace_back(m[1], i + 1);
+    }
+  }
+
+  // Registry entries: `case FaultSite::kX: return "name";`
+  std::map<std::string, std::size_t> case_count;
+  std::map<std::string, std::vector<std::string>> name_owners;
+  static const std::regex case_entry(
+      R"re(case\s+FaultSite::(k[A-Za-z0-9_]+)\s*:(?:\s*return\s*"([^"]*)")?)re");
+  for (const std::string& line : impl->code) {
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), case_entry);
+         it != std::sregex_iterator(); ++it) {
+      ++case_count[(*it)[1]];
+      if ((*it)[2].matched) name_owners[(*it)[2]].push_back((*it)[1]);
+    }
+  }
+
+  for (const auto& [site, line] : sites) {
+    if (Suppressed(*header, line - 1, kFaultSiteRegistry)) continue;
+    const std::size_t count =
+        case_count.count(site) ? case_count.at(site) : 0;
+    if (count != 1) {
+      findings.push_back(
+          {kFaultSiteRegistry, header_rel, line,
+           "FaultSite::" + site + " is registered " + std::to_string(count) +
+               " times in FaultSiteName (" + impl_rel +
+               "); every site needs exactly one name entry"});
+    }
+    // Injection point: referenced somewhere outside the registry pair.
+    bool referenced = false;
+    const std::string token = "FaultSite::" + site;
+    for (const SourceFile& f : files) {
+      if (f.rel == header_rel || f.rel == impl_rel) continue;
+      for (const std::string& l : f.code) {
+        if (l.find(token) != std::string::npos) {
+          referenced = true;
+          break;
+        }
+      }
+      if (referenced) break;
+    }
+    if (!referenced) {
+      findings.push_back(
+          {kFaultSiteRegistry, header_rel, line,
+           "FaultSite::" + site +
+               " has no injection point (no reference outside the "
+               "registry); dead sites hide untested failure paths"});
+    }
+  }
+  for (const auto& [name, owners] : name_owners) {
+    if (owners.size() > 1) {
+      findings.push_back(
+          {kFaultSiteRegistry, impl_rel, 0,
+           "fault-site name \"" + name + "\" is claimed by " +
+               std::to_string(owners.size()) +
+               " enumerators; --fault-* flags would collide"});
+    }
+  }
+  // The CLI must derive flags from the registry, not hand-list them.
+  if (const SourceFile* cli = Find(files, cli_rel)) {
+    bool derives = false;
+    for (const std::string& line : cli->code) {
+      if (line.find("FaultSiteName") != std::string::npos &&
+          line.find("\"fault-\"") != std::string::npos) {
+        derives = true;
+        break;
+      }
+    }
+    if (!derives) {
+      findings.push_back(
+          {kFaultSiteRegistry, cli_rel, 0,
+           "fault CLI does not derive --fault-* flags from FaultSiteName; "
+           "a new site would silently get no flag"});
+    }
+  }
+}
+
+// ------------------------------------------------------------------ DL002 --
+// RelaxedLoad/RelaxedStore implement the version-lock memory-order
+// discipline; outside the files that own that discipline, relaxed atomics
+// are almost always a latent race dressed up as an optimization.
+void CheckRelaxedAtomicScope(const SourceFile& file,
+                             std::vector<Finding>& findings) {
+  static const std::set<std::string> allowlist = {
+      "src/sync/atomic_util.h",      "src/sync/version_lock.h",
+      "src/sync/cnode.h",            "src/sync/cnode.cpp",
+      "src/baselines/olc_tree.h",    "src/baselines/olc_tree.cpp",
+      "src/baselines/rowex_tree.h",  "src/baselines/rowex_tree.cpp",
+  };
+  if (allowlist.count(file.rel)) return;
+  static const std::regex use(R"(\b(RelaxedLoad|RelaxedStore)\s*\()");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(file.code[i], m, use)) continue;
+    if (Suppressed(file, i, kRelaxedAtomicScope)) continue;
+    findings.push_back(
+        {kRelaxedAtomicScope, file.rel, i + 1,
+         std::string(m[1]) +
+             " outside the version-lock discipline files; use an explicit "
+             "memory order and document the synchronization contract"});
+  }
+}
+
+// ------------------------------------------------------------------ DL003 --
+// The paper's Trigger phase is lock-free by construction (ownership
+// partitioning); a blocking lock in the SOU or the parallel trigger path
+// would serialize exactly the phase the architecture exists to parallelize.
+void CheckTriggerPhaseBlockingLock(const SourceFile& file,
+                                   std::vector<Finding>& findings) {
+  static const std::set<std::string> scope = {
+      "src/dcart/sou.h",
+      "src/dcart/sou.cpp",
+      "src/dcartc/parallel_runtime.cpp",
+  };
+  if (!scope.count(file.rel)) return;
+  static const std::regex blocking(
+      R"(std::(recursive_mutex|timed_mutex|shared_mutex|shared_timed_mutex|mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable_any|condition_variable)\b)"
+      R"(|\bMutexLock\b|\bpthread_mutex_|#\s*include\s*<mutex>)");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(file.code[i], m, blocking)) continue;
+    if (Suppressed(file, i, kTriggerPhaseBlockingLock)) continue;
+    findings.push_back(
+        {kTriggerPhaseBlockingLock, file.rel, i + 1,
+         "blocking lock primitive in a trigger-phase hot path; the trigger "
+         "phase is lock-free by the ownership-partitioning contract "
+         "(see parallel_runtime.h)"});
+  }
+}
+
+// ------------------------------------------------------------------ DL004 --
+// `assert` is a no-op under NDEBUG — the configuration benchmarks and the
+// fault-injection suite actually run — so in release-reachable runtime code
+// it is a check that never checks.  Use DCART_CHECK (common/check.h) or
+// handle the condition.
+void CheckBareAssert(const SourceFile& file, std::vector<Finding>& findings) {
+  static const std::vector<std::string> dir_scope = {
+      "src/resilience/", "src/workload/", "src/simhw/", "src/dcartc/"};
+  bool in_scope = file.rel == "src/art/serialize.cpp";
+  for (const std::string& dir : dir_scope) {
+    if (file.rel.rfind(dir, 0) == 0) in_scope = true;
+  }
+  if (!in_scope) return;
+  static const std::regex bare(R"((^|[^_A-Za-z0-9])assert\s*\()");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    if (!std::regex_search(file.code[i], bare)) continue;
+    if (Suppressed(file, i, kBareAssert)) continue;
+    findings.push_back(
+        {kBareAssert, file.rel, i + 1,
+         "bare assert in release-reachable runtime code is a no-op under "
+         "NDEBUG; use DCART_CHECK (common/check.h) or handle the error"});
+  }
+}
+
+// ------------------------------------------------------------------ DL005 --
+// All raw file reads/writes in the serializers must go through the
+// bounds-checked + fault-checked ReadBytes/WriteBytes helpers, so every
+// byte of untrusted input is length-validated and every I/O step is a
+// fault-injection opportunity.
+void CheckRawIoOutsideHelper(const SourceFile& file,
+                             std::vector<Finding>& findings) {
+  static const std::set<std::string> scope = {"src/art/serialize.cpp",
+                                              "src/workload/trace_io.cpp"};
+  if (!scope.count(file.rel)) return;
+  static const std::regex helper_def(R"(\bbool\s+(Read|Write)Bytes\s*\()");
+  static const std::regex raw_io(R"(\b(std::\s*)?f(read|write)\s*\()");
+  bool in_helper = false;
+  bool body_opened = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (!in_helper && std::regex_search(line, helper_def)) {
+      in_helper = true;
+      body_opened = false;
+      depth = 0;
+    }
+    if (in_helper) {
+      for (char c : line) {
+        if (c == '{') {
+          ++depth;
+          body_opened = true;
+        } else if (c == '}') {
+          --depth;
+        }
+      }
+      // Helper body ends when its braces balance after having opened.
+      if (body_opened && depth <= 0) in_helper = false;
+      continue;
+    }
+    if (!std::regex_search(line, raw_io)) continue;
+    if (Suppressed(file, i, kRawIoOutsideHelper)) continue;
+    findings.push_back(
+        {kRawIoOutsideHelper, file.rel, i + 1,
+         "raw fread/fwrite outside the bounds-checked ReadBytes/WriteBytes "
+         "helpers; raw I/O skips length validation and fault injection"});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunLint(const std::string& root) {
+  std::vector<Finding> findings;
+  const std::vector<SourceFile> files = LoadTree(root);
+  CheckFaultSiteRegistry(files, findings);
+  for (const SourceFile& file : files) {
+    CheckRelaxedAtomicScope(file, findings);
+    CheckTriggerPhaseBlockingLock(file, findings);
+    CheckBareAssert(file, findings);
+    CheckRawIoOutsideHelper(file, findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dcart::lint

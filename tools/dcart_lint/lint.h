@@ -1,0 +1,51 @@
+// dcart_lint: repo-specific static checks that generic tools cannot express.
+//
+// clang-tidy and -Werror=thread-safety catch generic bug patterns; the five
+// rules here encode *DCART's own* contracts — the fault-site registry, the
+// version-lock relaxed-atomics discipline, the lock-free trigger phase, the
+// no-bare-assert policy in release-reachable code, and the bounds-checked
+// file-I/O helpers.  Each rule is documented with its rationale in
+// docs/ANALYSIS.md; the rule ids (DL001..DL005) are stable and referenced
+// by tests and suppression comments.
+//
+// The checker is deliberately textual (per-line regex over a preprocessed
+// view with comments stripped): the contracts it enforces are lexical
+// ("this token must not appear in this file"), so a full AST would add a
+// clang dependency without adding precision.  A finding on line N can be
+// suppressed with a trailing `// dcart-lint: allow(DLxxx)` comment — which
+// is itself greppable, so every suppression is auditable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dcart::lint {
+
+struct Finding {
+  std::string rule;     // "DL001".."DL005"
+  std::string file;     // path relative to the lint root, '/'-separated
+  std::size_t line;     // 1-based; 0 for whole-file findings
+  std::string message;  // human-readable explanation
+
+  bool operator==(const Finding&) const = default;
+};
+
+// Rule ids.
+inline constexpr char kFaultSiteRegistry[] = "DL001";
+inline constexpr char kRelaxedAtomicScope[] = "DL002";
+inline constexpr char kTriggerPhaseBlockingLock[] = "DL003";
+inline constexpr char kBareAssert[] = "DL004";
+inline constexpr char kRawIoOutsideHelper[] = "DL005";
+
+/// Run every rule over the repository rooted at `root` (the directory that
+/// contains `src/`).  Findings are sorted by (file, line, rule) so output
+/// and tests are deterministic.  Missing scope files are skipped silently:
+/// the fixture corpora are miniature repos that only carry the files a rule
+/// needs.
+std::vector<Finding> RunLint(const std::string& root);
+
+/// One finding per line: "<file>:<line>: [<rule>] <message>".
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+}  // namespace dcart::lint

@@ -1,0 +1,35 @@
+// dcart_lint CLI: run the repo-specific rules and fail on any finding.
+//
+//   dcart_lint [--root <dir>]
+//
+// Exit status: 0 = clean, 1 = findings, 2 = usage error.  CI runs this as
+// part of the required static-analysis job; run it locally via
+// scripts/run_static_analysis.sh or directly from the build tree.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: dcart_lint [--root <dir>]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "dcart_lint: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  const auto findings = dcart::lint::RunLint(root);
+  if (findings.empty()) {
+    std::printf("dcart_lint: clean (%s)\n", root.c_str());
+    return 0;
+  }
+  std::fputs(dcart::lint::FormatFindings(findings).c_str(), stderr);
+  std::fprintf(stderr, "dcart_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
