@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "baselines/registry.h"
+#include "obs/trace.h"
+#include "resilience/fault_cli.h"
 
 namespace dcart::bench {
 
@@ -43,6 +45,82 @@ ExecutionResult LoadAndRun(IndexEngine& engine, const Workload& workload,
                            const RunConfig& run) {
   engine.Load(workload.load_items);
   return engine.Run(workload.ops, run);
+}
+
+int RequireValidFlags(const CliFlags& flags) {
+  Status status = flags.status();
+  status.Update(resilience::ValidateFaultFlags(flags));
+  status.Update(obs::ValidateObsFlags(flags));
+  if (status.ok()) return 0;
+  std::fprintf(stderr, "invalid flags: %s\n", status.message().c_str());
+  return 2;
+}
+
+obs::RunMetrics MetricsFromResult(const std::string& workload,
+                                  const std::string& engine,
+                                  const ExecutionResult& result) {
+  obs::RunMetrics run;
+  run.workload = workload;
+  run.engine = engine;
+  run.platform = result.platform;
+  run.wallclock = result.wallclock;
+  run.seconds = result.seconds;
+  run.throughput_ops_per_sec = result.ThroughputOpsPerSec();
+  run.energy_joules = result.energy_joules;
+  run.events = result.stats;
+  run.latency_ns = result.latency_ns;
+  run.reads_hit = result.reads_hit;
+  run.combine_seconds = result.phase_breakdown.combine_seconds;
+  run.traverse_seconds = result.phase_breakdown.traverse_seconds;
+  run.trigger_seconds = result.phase_breakdown.trigger_seconds;
+  run.other_seconds = result.phase_breakdown.other_seconds;
+  run.status_ok = result.status.ok();
+  run.status_message = result.status.message();
+  run.demoted_to_serial = result.demoted_to_serial;
+  run.parallel_failures = result.parallel_failures;
+  run.bucket_retries = result.bucket_retries;
+  run.invariant_breaches = result.invariant_breaches;
+  run.ops_acknowledged = result.ops_acknowledged;
+  return run;
+}
+
+BenchObservability::BenchObservability(const std::string& bench_name,
+                                       const CliFlags& flags)
+    : exporter_(bench_name),
+      metrics_path_(flags.GetString("metrics-json", "")),
+      trace_path_(flags.GetString("trace-json", "")) {
+  // Mirror the common workload/run flags into the snapshot so one JSON file
+  // is a self-contained record of the experiment configuration.
+  exporter_.SetConfig("keys", flags.GetInt("keys", 40'000));
+  exporter_.SetConfig("ops", flags.GetInt("ops", 120'000));
+  exporter_.SetConfig("seed", flags.GetInt("seed", 42));
+  exporter_.SetConfig("inflight", flags.GetInt("inflight", 4096));
+  exporter_.SetConfig("threads", flags.GetInt("threads", 96));
+  exporter_.SetConfig("batch", flags.GetInt("batch", 8192));
+  exporter_.SetConfig("write_ratio", flags.GetDouble("write-ratio", 0.5));
+  exporter_.SetConfig("theta", flags.GetDouble("theta", 1.3));
+  if (tracing()) obs::Tracer::Global().Enable();
+}
+
+void BenchObservability::Record(const std::string& workload,
+                                const std::string& engine,
+                                const ExecutionResult& result) {
+  exporter_.AddRun(MetricsFromResult(workload, engine, result));
+}
+
+int BenchObservability::Finish() {
+  Status status;
+  if (!metrics_path_.empty()) {
+    status.Update(exporter_.WriteJson(metrics_path_));
+  }
+  if (tracing()) {
+    status.Update(obs::Tracer::Global().WriteJson(trace_path_));
+    obs::Tracer::Global().Disable();
+  }
+  if (status.ok()) return 0;
+  std::fprintf(stderr, "observability export failed: %s\n",
+               status.message().c_str());
+  return 3;
 }
 
 Table::Table(std::vector<std::string> headers)

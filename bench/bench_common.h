@@ -13,6 +13,10 @@
 //   --threads=N  modeled CPU worker count (default 96)
 //   --theta=X    operation Zipf skew      (default 1.3, Fig. 3-calibrated)
 //   --write-ratio=X                       (default 0.5)
+//
+// Observability flags (see docs/OBSERVABILITY.md):
+//   --metrics-json=PATH  write a versioned JSON metrics snapshot on exit
+//   --trace-json=PATH    write a Chrome trace_event JSON (Perfetto-loadable)
 #pragma once
 
 #include <functional>
@@ -22,6 +26,7 @@
 
 #include "baselines/engine.h"
 #include "common/cli.h"
+#include "obs/export.h"
 #include "workload/generators.h"
 
 namespace dcart::bench {
@@ -44,6 +49,52 @@ RunConfig RunFromFlags(const CliFlags& flags);
 /// Load + run one engine on one workload; prints nothing.
 ExecutionResult LoadAndRun(IndexEngine& engine, const Workload& workload,
                            const RunConfig& run);
+
+// ---------------------------------------------------------- observability --
+
+/// Validate the full flag surface (parse status, `--fault-*` site names,
+/// `--metrics-*`/`--trace-*` names).  Returns 0 when valid, else prints the
+/// error to stderr and returns a nonzero exit code for main() to return.
+int RequireValidFlags(const CliFlags& flags);
+
+/// Flatten an ExecutionResult into the obs layer's plain-data run record.
+obs::RunMetrics MetricsFromResult(const std::string& workload,
+                                  const std::string& engine,
+                                  const ExecutionResult& result);
+
+/// Per-binary observability harness.  Construct after flag validation; call
+/// Record() for each (workload, engine) run; Finish() writes the
+/// `--metrics-json` / `--trace-json` outputs (if requested) and returns
+/// main()'s exit code.  When neither flag is given, the whole object is
+/// inert: tracing stays disabled and nothing is written.
+class BenchObservability {
+ public:
+  BenchObservability(const std::string& bench_name, const CliFlags& flags);
+
+  bool tracing() const { return !trace_path_.empty(); }
+
+  /// Override/extend the mirrored config (binaries whose flag defaults
+  /// differ from the common ones, e.g. wallclock_ctt's larger workload).
+  void SetConfig(const std::string& key, std::int64_t value) {
+    exporter_.SetConfig(key, value);
+  }
+  void SetConfig(const std::string& key, double value) {
+    exporter_.SetConfig(key, value);
+  }
+  void SetConfig(const std::string& key, const std::string& value) {
+    exporter_.SetConfig(key, value);
+  }
+
+  void Record(const std::string& workload, const std::string& engine,
+              const ExecutionResult& result);
+
+  int Finish();
+
+ private:
+  obs::MetricsExporter exporter_;
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 // ----------------------------------------------------------------- output --
 

@@ -40,7 +40,8 @@ class ArtWriteMeter : public art::TraversalObserver {
 
 }  // namespace
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const auto n = static_cast<std::size_t>(flags.GetInt("keys", 200'000));
   const auto lookups = static_cast<std::size_t>(flags.GetInt("ops", 400'000));
 
@@ -115,12 +116,12 @@ void Main(const CliFlags& flags) {
               btree.height());
   std::puts("(paper Sec. V: ART's write amplification is smaller because "
             "internal nodes hold partial keys, not whole keys)");
+  return 0;
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

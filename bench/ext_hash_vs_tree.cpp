@@ -27,7 +27,8 @@ double Seconds(const std::function<void()>& fn) {
 
 }  // namespace
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const auto n = static_cast<std::size_t>(flags.GetInt("keys", 200'000));
   const auto lookups = static_cast<std::size_t>(flags.GetInt("ops", 400'000));
   const auto ranges = static_cast<std::size_t>(flags.GetInt("ranges", 200));
@@ -105,12 +106,12 @@ void Main(const CliFlags& flags) {
   std::printf("(checksum %llu)\n", static_cast<unsigned long long>(sink));
   std::puts("Hash wins points by a small factor; the tree wins ranges by "
             "orders of magnitude — the paper's Sec. V rationale for ART.");
+  return 0;
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

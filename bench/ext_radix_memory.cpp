@@ -12,7 +12,8 @@
 
 namespace dcart::bench {
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   WorkloadConfig cfg = ConfigFromFlags(flags);
   cfg.num_keys = static_cast<std::size_t>(flags.GetInt("keys", 40'000));
 
@@ -42,12 +43,12 @@ void Main(const CliFlags& flags) {
   table.Print();
   std::puts("(paper Sec. II-A: most traditional-radix pointers stay empty "
             "under sparse keys; ART's adaptive nodes remove the waste)");
+  return 0;
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

@@ -11,7 +11,9 @@
 
 namespace dcart::bench {
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
+  BenchObservability observability("ext_range_ops", flags);
   struct Mix {
     const char* name;
     double write_ratio;
@@ -37,6 +39,7 @@ void Main(const CliFlags& flags) {
     for (const std::string& name : EngineNames()) {
       auto engine = MakeEngine(name);
       const ExecutionResult r = LoadAndRun(*engine, w, run);
+      observability.Record(mix.name, name, r);
       const double entries_per_scan =
           w.NumScans() ? static_cast<double>(r.stats.scan_entries) /
                              static_cast<double>(w.NumScans())
@@ -52,12 +55,12 @@ void Main(const CliFlags& flags) {
   }
   std::puts("\n(extension beyond the paper: scans are not coalesced; the "
             "comparison isolates each engine's raw range throughput)");
+  return observability.Finish();
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

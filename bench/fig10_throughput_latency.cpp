@@ -9,9 +9,11 @@
 
 namespace dcart::bench {
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const WorkloadConfig cfg = ConfigFromFlags(flags);
   const RunConfig base_run = RunFromFlags(flags);
+  BenchObservability observability("fig10_throughput_latency", flags);
   const std::vector<WorkloadKind> real = {
       WorkloadKind::kIPGEO, WorkloadKind::kDICT, WorkloadKind::kEA};
 
@@ -28,6 +30,8 @@ void Main(const CliFlags& flags) {
         run.batch_size = std::max<std::size_t>(512, inflight);
         run.collect_latency = true;
         const ExecutionResult r = LoadAndRun(*engine, w, run);
+        observability.Record(w.name + "/inflight=" + std::to_string(inflight),
+                             name, r);
         table.AddRow(
             {name, std::to_string(inflight),
              FormatDouble(r.ThroughputOpsPerSec() / 1e6, 2),
@@ -41,12 +45,12 @@ void Main(const CliFlags& flags) {
   }
   std::puts("\n(paper: DCART reaches higher throughput at lower P99 than "
             "ART, SMART, CuART, and DCART-C)");
+  return observability.Finish();
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

@@ -10,9 +10,11 @@
 
 namespace dcart::bench {
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const WorkloadConfig cfg = ConfigFromFlags(flags);
   const RunConfig run = RunFromFlags(flags);
+  BenchObservability observability("fig11_energy", flags);
 
   PrintBanner("Figure 11: modeled energy");
   Table table({"workload", "engine", "joules", "uJ/op"});
@@ -23,6 +25,7 @@ void Main(const CliFlags& flags) {
     for (const std::string& name : EngineNames()) {
       auto engine = MakeEngine(name);
       const ExecutionResult r = LoadAndRun(*engine, w, run);
+      observability.Record(w.name, name, r);
       joules[w.name][name] = r.energy_joules;
       table.AddRow({w.name, name, FormatSci(r.energy_joules),
                     FormatDouble(r.energy_joules /
@@ -44,12 +47,12 @@ void Main(const CliFlags& flags) {
   savings.Print();
   std::puts("(paper: 315.1-493.5x vs ART, 92.7-148.9x vs SMART, 71.1-126.2x "
             "vs CuART, 48.1-97.6x vs DCART-C)");
+  return observability.Finish();
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

@@ -24,9 +24,11 @@ double DcartSeconds(const Workload& w, const RunConfig& run,
 
 }  // namespace
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const WorkloadConfig base_cfg = ConfigFromFlags(flags);
   const RunConfig base_run = RunFromFlags(flags);
+  BenchObservability observability("fig12_sensitivity", flags);
 
   PrintBanner("Figure 12(a): speedup vs concurrent operations (IPGEO)");
   {
@@ -42,7 +44,10 @@ void Main(const CliFlags& flags) {
            {std::string("ART"), std::string("SMART"), std::string("CuART"),
             std::string("DCART")}) {
         auto engine = MakeEngine(name);
-        seconds[name] = LoadAndRun(*engine, w, run).seconds;
+        const ExecutionResult r = LoadAndRun(*engine, w, run);
+        observability.Record(
+            w.name + "/inflight=" + std::to_string(inflight), name, r);
+        seconds[name] = r.seconds;
       }
       table.AddRow({std::to_string(inflight),
                     FormatRatio(seconds["ART"] / seconds["DCART"]),
@@ -206,12 +211,12 @@ void Main(const CliFlags& flags) {
     }
     table.Print();
   }
+  return observability.Finish();
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

@@ -75,9 +75,11 @@ std::uint64_t DistinctNodesPerBatch(const Workload& w,
 
 }  // namespace
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const WorkloadConfig base_cfg = ConfigFromFlags(flags);
   const RunConfig run = RunFromFlags(flags);
+  BenchObservability observability("fig2_motivation", flags);
 
   PrintBanner("Figure 2(a): execution-time breakdown of CPU baselines");
   {
@@ -87,6 +89,7 @@ void Main(const CliFlags& flags) {
       for (const std::string& name : kCpuBaselines) {
         auto engine = MakeEngine(name);
         const ExecutionResult r = LoadAndRun(*engine, w, run);
+        observability.Record(w.name, name, r);
         const Breakdown b = SplitCycles(r.stats);
         const double total = b.traversal + b.sync + b.other;
         table.AddRow({w.name, name, FormatPercent(b.traversal / total),
@@ -173,12 +176,12 @@ void Main(const CliFlags& flags) {
     table.Print();
     std::puts("(paper: performance deteriorates rapidly as writes grow)");
   }
+  return observability.Finish();
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

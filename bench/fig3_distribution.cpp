@@ -51,7 +51,8 @@ double HotNodeTraversalShare(const Workload& w, double node_fraction) {
 
 }  // namespace
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const WorkloadConfig cfg = ConfigFromFlags(flags);
   const std::vector<WorkloadKind> real = {
       WorkloadKind::kIPGEO, WorkloadKind::kDICT, WorkloadKind::kEA};
@@ -88,12 +89,12 @@ void Main(const CliFlags& flags) {
   table.Print();
   std::puts("(paper: >= 96.65 % of tree traversals access only 5 % of the "
             "ART's nodes)");
+  return 0;
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

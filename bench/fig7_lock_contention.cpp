@@ -10,9 +10,11 @@
 
 namespace dcart::bench {
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const WorkloadConfig cfg = ConfigFromFlags(flags);
   const RunConfig run = RunFromFlags(flags);
+  BenchObservability observability("fig7_lock_contention", flags);
 
   PrintBanner("Figure 7: lock contentions (normalized to ART)");
   Table table({"workload", "engine", "contentions", "vs ART"});
@@ -25,6 +27,7 @@ void Main(const CliFlags& flags) {
       auto engine = MakeEngine(name);
       const ExecutionResult r = LoadAndRun(*engine, w, run);
       contentions[name] = r.stats.lock_contentions;
+      observability.Record(w.name, name, r);
     }
     const auto art = static_cast<double>(contentions["ART"]);
     for (const std::string& name : EngineNames()) {
@@ -47,12 +50,12 @@ void Main(const CliFlags& flags) {
                 FormatPercent(range.second).c_str());
   }
   std::puts("(paper: DCART*/baselines = 3.2 % - 19.7 %)");
+  return observability.Finish();
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

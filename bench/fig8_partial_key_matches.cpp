@@ -10,9 +10,11 @@
 
 namespace dcart::bench {
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const WorkloadConfig cfg = ConfigFromFlags(flags);
   const RunConfig run = RunFromFlags(flags);
+  BenchObservability observability("fig8_partial_key_matches", flags);
 
   PrintBanner("Figure 8: partial key matches");
   Table table({"workload", "engine", "pkm", "shortcut hits", "combined ops"});
@@ -23,6 +25,7 @@ void Main(const CliFlags& flags) {
     for (const std::string& name : EngineNames()) {
       auto engine = MakeEngine(name);
       const ExecutionResult r = LoadAndRun(*engine, w, run);
+      observability.Record(w.name, name, r);
       pkm[w.name][name] = r.stats.partial_key_matches;
       table.AddRow({w.name, name, std::to_string(r.stats.partial_key_matches),
                     std::to_string(r.stats.shortcut_hits),
@@ -44,12 +47,12 @@ void Main(const CliFlags& flags) {
   ratios.Print();
   std::puts("(paper: 3.2-5.7 % of ART, 6.5-14.3 % of SMART, 8.8-15.9 % of "
             "CuART)");
+  return observability.Finish();
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

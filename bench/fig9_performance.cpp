@@ -11,9 +11,11 @@
 
 namespace dcart::bench {
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const WorkloadConfig cfg = ConfigFromFlags(flags);
   const RunConfig run = RunFromFlags(flags);
+  BenchObservability observability("fig9_performance", flags);
 
   PrintBanner("Figure 9: modeled execution time");
   Table table({"workload", "engine", "platform", "seconds", "Mops/s"});
@@ -24,6 +26,7 @@ void Main(const CliFlags& flags) {
     for (const std::string& name : EngineNames()) {
       auto engine = MakeEngine(name);
       const ExecutionResult r = LoadAndRun(*engine, w, run);
+      observability.Record(w.name, name, r);
       seconds[w.name][name] = r.seconds;
       table.AddRow({w.name, name, r.platform, FormatSci(r.seconds),
                     FormatDouble(r.ThroughputOpsPerSec() / 1e6, 2)});
@@ -44,12 +47,12 @@ void Main(const CliFlags& flags) {
   speedups.Print();
   std::puts("(paper: 123.8-151.7x vs ART, 35.9-44.2x vs SMART, 21.1-31.2x "
             "vs CuART)");
+  return observability.Finish();
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

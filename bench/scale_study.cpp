@@ -12,11 +12,13 @@
 
 namespace dcart::bench {
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   const auto ops = static_cast<std::size_t>(flags.GetInt("ops", 100'000));
   const auto max_keys =
       static_cast<std::size_t>(flags.GetInt("max-keys", 1'000'000));
   const RunConfig run = RunFromFlags(flags);
+  BenchObservability observability("scale_study", flags);
 
   PrintBanner("Scale study: IPGEO, 50/50 mix, keys sweep");
   Table table({"keys", "engine", "seconds", "Mops/s", "DCART speedup"});
@@ -31,7 +33,9 @@ void Main(const CliFlags& flags) {
          {std::string("ART"), std::string("SMART"), std::string("CuART"),
           std::string("DCART")}) {
       auto engine = MakeEngine(name);
-      seconds[name] = LoadAndRun(*engine, w, run).seconds;
+      const ExecutionResult r = LoadAndRun(*engine, w, run);
+      observability.Record(w.name + "/keys=" + std::to_string(keys), name, r);
+      seconds[name] = r.seconds;
     }
     for (const auto& [name, secs] : seconds) {
       table.AddRow({std::to_string(keys), name, FormatSci(secs),
@@ -43,12 +47,12 @@ void Main(const CliFlags& flags) {
   }
   table.Print();
   std::puts("(the paper's testbed is 50M keys; pass --max-keys to extend)");
+  return observability.Finish();
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

@@ -8,7 +8,8 @@
 
 namespace dcart::bench {
 
-void Main(const CliFlags& flags) {
+int Main(const CliFlags& flags) {
+  if (const int rc = RequireValidFlags(flags)) return rc;
   PrintBanner("Table I: DCART parameters and resource estimate");
   std::fputs(
       accel::RenderTableOne(accel::DcartConfig{}, simhw::FpgaModel{}).c_str(),
@@ -30,12 +31,12 @@ void Main(const CliFlags& flags) {
                                2)});
   }
   table.Print();
+  return 0;
 }
 
 }  // namespace dcart::bench
 
 int main(int argc, char** argv) {
   dcart::CliFlags flags(argc, argv);
-  dcart::bench::Main(flags);
-  return 0;
+  return dcart::bench::Main(flags);
 }

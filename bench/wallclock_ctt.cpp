@@ -88,6 +88,7 @@ std::string Speedup(double seconds, double baseline_seconds) {
 int main(int argc, char** argv) {
   using namespace dcart;
   CliFlags flags(argc, argv);
+  if (const int rc = bench::RequireValidFlags(flags)) return rc;
   WorkloadConfig cfg;
   cfg.num_keys = static_cast<std::size_t>(flags.GetInt("keys", 200'000));
   cfg.num_ops = static_cast<std::size_t>(flags.GetInt("ops", 2'000'000));
@@ -108,6 +109,15 @@ int main(int argc, char** argv) {
   const double ops = static_cast<double>(cfg.num_ops);
   const resilience::FaultPlan fault_plan =
       resilience::FaultPlanFromFlags(flags);
+
+  bench::BenchObservability observability("wallclock_ctt", flags);
+  observability.SetConfig("keys", static_cast<std::int64_t>(cfg.num_keys));
+  observability.SetConfig("ops", static_cast<std::int64_t>(cfg.num_ops));
+  observability.SetConfig("threads", static_cast<std::int64_t>(threads));
+  observability.SetConfig("batch", static_cast<std::int64_t>(batch));
+  observability.SetConfig("write_ratio", cfg.write_ratio);
+  observability.SetConfig("theta", cfg.zipf_theta);
+  observability.SetConfig("reps", static_cast<std::int64_t>(reps));
 
   const Workload w = MakeWorkload(*kind, cfg);
   std::printf(
@@ -163,6 +173,7 @@ int main(int argc, char** argv) {
     }
     table.AddRow({"DCART-CP", std::to_string(t), Mops(best.seconds, ops),
                   Speedup(best.seconds, serial_s)});
+    observability.Record(w.name, "DCART-CP@" + std::to_string(t), best);
     return best;
   };
   if (threads != 1) run_cp(1);
@@ -195,5 +206,5 @@ int main(int argc, char** argv) {
       std::printf("  status: %s\n", cp_result.status.message().c_str());
     }
   }
-  return 0;
+  return observability.Finish();
 }

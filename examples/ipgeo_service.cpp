@@ -13,10 +13,15 @@
 // --state-dir (a temp directory by default), killed mid-serve by an
 // injected crash, recovered with Recover(), and resumed — the operator
 // workflow after a real process death.
+// Observability: `--metrics-json=PATH` exports the serving results (and the
+// process metrics registry) as a versioned JSON snapshot; `--trace-json=PATH`
+// captures Combine/Traverse/Trigger phase spans loadable in Perfetto.  See
+// docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <filesystem>
 
 #include "baselines/registry.h"
+#include "bench/bench_common.h"
 #include "common/cli.h"
 #include "common/key_codec.h"
 #include "resilience/fault_injector.h"
@@ -41,6 +46,8 @@ void Report(const char* name, const ExecutionResult& r, std::size_t ops) {
 
 int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
+  if (const int rc = bench::RequireValidFlags(flags)) return rc;
+  bench::BenchObservability observability("ipgeo_service", flags);
   WorkloadConfig cfg;
   cfg.num_keys = static_cast<std::size_t>(flags.GetInt("keys", 50'000));
   cfg.num_ops = static_cast<std::size_t>(flags.GetInt("ops", 200'000));
@@ -60,12 +67,15 @@ int main(int argc, char** argv) {
   std::printf("\nserving the request stream:\n");
   auto smart = MakeEngine("SMART");
   smart->Load(workload.load_items);
-  Report("SMART (CPU)", smart->Run(workload.ops, run), cfg.num_ops);
+  const ExecutionResult smart_result = smart->Run(workload.ops, run);
+  Report("SMART (CPU)", smart_result, cfg.num_ops);
+  observability.Record("IPGEO", "SMART", smart_result);
 
   auto dcart = MakeEngine("DCART");
   dcart->Load(workload.load_items);
   const ExecutionResult accel_result = dcart->Run(workload.ops, run);
   Report("DCART (FPGA)", accel_result, cfg.num_ops);
+  observability.Record("IPGEO", "DCART", accel_result);
 
   // Show a few concrete lookups through the public API.
   std::printf("\nsample lookups:\n");
@@ -111,6 +121,7 @@ int main(int argc, char** argv) {
   resilience::ResilientEngine service(durability);
   service.Load(workload.load_items);
   const ExecutionResult before = service.Run(workload.ops, ft_run);
+  observability.Record("IPGEO/ft-before-crash", "DCART-CP-FT", before);
   std::printf("  crash injected: %s\n", before.status.message().c_str());
   std::printf("  %llu of %zu requests acknowledged before the crash\n",
               static_cast<unsigned long long>(before.ops_acknowledged),
@@ -130,6 +141,7 @@ int main(int argc, char** argv) {
   const std::size_t done = before.ops_acknowledged;
   const ExecutionResult resumed = restarted.Run(
       {workload.ops.data() + done, workload.ops.size() - done}, RunConfig{});
+  observability.Record("IPGEO/ft-resumed", "DCART-CP-FT", resumed);
   const auto check = restarted.Lookup(workload.load_items.front().first);
   std::printf("  resumed the remaining %zu requests (%s); %s -> %s\n",
               workload.ops.size() - done,
@@ -137,5 +149,6 @@ int main(int argc, char** argv) {
               FormatIPv4(workload.load_items.front().first).c_str(),
               check ? kCountries[*check % std::size(kCountries)] : "MISSING");
   std::filesystem::remove_all(state_dir);
+  if (const int rc = observability.Finish()) return rc;
   return check.has_value() && resumed.status.ok() ? 0 : 1;
 }

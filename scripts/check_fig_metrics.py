@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Pin a fig bench's --metrics-json counters to its human-readable table.
+
+Usage: check_fig_metrics.py --fig=7|8 <bench-binary> [bench args...]
+
+Runs the binary with a temporary --metrics-json path, parses the markdown
+table it prints, and checks that the JSON events report the same per-
+(workload, engine) counts the table shows:
+
+  fig 7: table column "contentions"   == events.lock_contentions
+  fig 8: table column "pkm"           == events.partial_key_matches
+         table column "shortcut hits" == events.shortcut_hits
+         table column "combined ops"  == events.combined_ops
+
+A drift between the two would mean the exporter and the report renderer
+disagree about what ran — exactly the failure mode the JSON export exists
+to prevent.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FIG_COLUMNS = {
+    "7": {"contentions": "lock_contentions"},
+    "8": {
+        "pkm": "partial_key_matches",
+        "shortcut hits": "shortcut_hits",
+        "combined ops": "combined_ops",
+    },
+}
+
+
+def parse_table(text):
+    """Parse the first markdown table into [{column: cell}] rows."""
+    rows = []
+    header = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("|"):
+            if header is not None:
+                break  # table ended
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if header is None:
+            header = cells
+            continue
+        if all(set(c) <= {"-"} for c in cells):
+            continue  # separator row
+        if len(cells) == len(header):
+            rows.append(dict(zip(header, cells)))
+    return rows
+
+
+def main(argv):
+    if len(argv) < 3 or not argv[1].startswith("--fig="):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fig = argv[1].split("=", 1)[1]
+    if fig not in FIG_COLUMNS:
+        print(f"unsupported fig {fig!r}; known: {sorted(FIG_COLUMNS)}",
+              file=sys.stderr)
+        return 2
+    columns = FIG_COLUMNS[fig]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = os.path.join(tmp, "metrics.json")
+        cmd = argv[2:] + [f"--metrics-json={metrics_path}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            print(f"bench exited {proc.returncode}", file=sys.stderr)
+            return 1
+        table = parse_table(proc.stdout)
+        with open(metrics_path) as f:
+            doc = json.load(f)
+
+    runs = {(r["workload"], r["engine"]): r["events"] for r in doc["runs"]}
+    errors = []
+    compared = 0
+    for row in table:
+        key = (row.get("workload"), row.get("engine"))
+        if key not in runs:
+            errors.append(f"table row {key} has no JSON run")
+            continue
+        for column, field in columns.items():
+            if column not in row:
+                errors.append(f"table has no column {column!r}")
+                continue
+            table_value = int(row[column])
+            json_value = runs[key][field]
+            compared += 1
+            if table_value != json_value:
+                errors.append(
+                    f"{key}: table {column}={table_value} but JSON "
+                    f"events.{field}={json_value}")
+    if compared == 0:
+        errors.append("nothing compared: table empty or columns missing")
+
+    for error in errors:
+        print(f"fig{fig}: {error}", file=sys.stderr)
+    if not errors:
+        print(f"fig{fig}: OK ({compared} counters match the table)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

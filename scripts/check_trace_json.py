@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate a --trace-json file as loadable Chrome trace_event JSON.
+
+Usage: check_trace_json.py <trace.json> [--require-category=C ...]
+
+Checks the envelope (traceEvents array, displayTimeUnit), every complete
+event's required fields, non-negative timestamps/durations, and — with
+--require-category — that at least one "X" span of each named category is
+present (e.g. combine, traverse, trigger).
+"""
+import json
+import sys
+
+
+def validate(doc, required_categories):
+    errors = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    if not events:
+        errors.append("traceEvents is empty")
+
+    seen_categories = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            errors.append(f"{where}: unexpected phase {phase!r}")
+            continue
+        if phase == "M":
+            if event.get("name") != "thread_name":
+                errors.append(f"{where}: unknown metadata {event.get('name')!r}")
+            continue
+        for field in ("name", "cat", "ts", "dur", "pid", "tid"):
+            if field not in event:
+                errors.append(f"{where}: missing field {field!r}")
+        if event.get("ts", 0) < 0:
+            errors.append(f"{where}: negative timestamp")
+        if event.get("dur", 0) < 0:
+            errors.append(f"{where}: negative duration")
+        seen_categories.add(event.get("cat"))
+
+    for category in required_categories:
+        if category not in seen_categories:
+            errors.append(
+                f"no span with category {category!r} "
+                f"(saw: {sorted(c for c in seen_categories if c)})")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    required = []
+    for arg in argv[2:]:
+        if arg.startswith("--require-category="):
+            required.append(arg.split("=", 1)[1])
+        else:
+            print(f"unknown argument: {arg}", file=sys.stderr)
+            return 2
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    errors = validate(doc, required)
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if not errors:
+        spans = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+        print(f"{path}: OK ({spans} spans)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Observability smoke: run the instrumented benches at a small scale and
+# validate everything they export.
+#
+#   scripts/metrics_smoke.sh [build-dir]
+#
+# Covers: metrics-JSON schema (fig7, fig8, wallclock_ctt, ipgeo_service),
+# JSON-vs-text counter pinning (fig7/fig8), trace-JSON shape with the
+# Combine/Traverse/Trigger categories (wallclock_ctt real threads, fig9
+# simulated cycles), and flag validation (unknown --metrics-* flag must be
+# rejected).  CI runs this as the metrics-smoke step.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCRIPTS_DIR="$(cd "$(dirname "$0")" && pwd)"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "${OUT_DIR}"' EXIT
+
+SMALL="--keys=2000 --ops=4000"
+
+echo "== metrics JSON schema =="
+"${BUILD_DIR}/bench/fig7_lock_contention" ${SMALL} \
+    --metrics-json="${OUT_DIR}/fig7.json" > /dev/null
+python3 "${SCRIPTS_DIR}/check_metrics_json.py" "${OUT_DIR}/fig7.json" \
+    --min-runs=25
+
+"${BUILD_DIR}/bench/fig8_partial_key_matches" ${SMALL} \
+    --metrics-json="${OUT_DIR}/fig8.json" > /dev/null
+python3 "${SCRIPTS_DIR}/check_metrics_json.py" "${OUT_DIR}/fig8.json" \
+    --min-runs=25
+
+"${BUILD_DIR}/bench/wallclock_ctt" ${SMALL} --threads=2 --reps=1 \
+    --metrics-json="${OUT_DIR}/wallclock.json" \
+    --trace-json="${OUT_DIR}/wallclock_trace.json" > /dev/null
+python3 "${SCRIPTS_DIR}/check_metrics_json.py" "${OUT_DIR}/wallclock.json"
+
+"${BUILD_DIR}/examples/ipgeo_service" --keys=3000 --ops=10000 \
+    --metrics-json="${OUT_DIR}/ipgeo.json" > /dev/null
+python3 "${SCRIPTS_DIR}/check_metrics_json.py" "${OUT_DIR}/ipgeo.json" \
+    --min-runs=4
+
+echo "== JSON counters match the text tables =="
+python3 "${SCRIPTS_DIR}/check_fig_metrics.py" --fig=7 \
+    "${BUILD_DIR}/bench/fig7_lock_contention" ${SMALL}
+python3 "${SCRIPTS_DIR}/check_fig_metrics.py" --fig=8 \
+    "${BUILD_DIR}/bench/fig8_partial_key_matches" ${SMALL}
+
+echo "== trace JSON (wall-clock and simulated-cycle) =="
+python3 "${SCRIPTS_DIR}/check_trace_json.py" "${OUT_DIR}/wallclock_trace.json" \
+    --require-category=combine --require-category=traverse \
+    --require-category=trigger
+
+"${BUILD_DIR}/bench/fig9_performance" ${SMALL} \
+    --trace-json="${OUT_DIR}/fig9_trace.json" > /dev/null
+python3 "${SCRIPTS_DIR}/check_trace_json.py" "${OUT_DIR}/fig9_trace.json" \
+    --require-category=combine --require-category=traverse \
+    --require-category=trigger
+
+echo "== unknown observability flags are rejected =="
+if "${BUILD_DIR}/bench/fig7_lock_contention" ${SMALL} \
+    --metrics-jsn="${OUT_DIR}/typo.json" > /dev/null 2>&1; then
+  echo "ERROR: typoed --metrics-jsn was accepted" >&2
+  exit 1
+fi
+
+echo "metrics smoke: all checks passed"

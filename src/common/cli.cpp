@@ -16,16 +16,33 @@ CliFlags::CliFlags(int argc, char** argv) {
     arg.remove_prefix(2);
     const auto eq = arg.find('=');
     if (eq != std::string_view::npos) {
-      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      Set(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
       continue;
     }
     // `--name value` unless the next token is itself a flag (then boolean).
     if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
-      values_[std::string(arg)] = argv[++i];
+      Set(std::string(arg), argv[++i]);
     } else {
-      values_[std::string(arg)] = "true";
+      Set(std::string(arg), "true");
     }
   }
+}
+
+void CliFlags::Set(std::string name, std::string value) {
+  // A repeated flag means the command line doesn't say what the user thinks
+  // it says — keeping either value would run a different experiment than the
+  // one on record.
+  const auto [it, inserted] = values_.emplace(std::move(name), std::move(value));
+  if (!inserted && status_.ok()) {
+    status_ = Status::Error("flag --" + it->first + " given more than once");
+  }
+}
+
+std::vector<std::string> CliFlags::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
 }
 
 bool CliFlags::Has(const std::string& name) const {

@@ -17,6 +17,20 @@ constexpr std::size_t kMaxBuckets = kLinearLimit + 64 * kSubPerOctave;
 
 LatencyHistogram::LatencyHistogram() : buckets_(kMaxBuckets, 0) {}
 
+LatencyHistogram::LatencyHistogram(std::size_t bucket_count)
+    : buckets_(bucket_count == 0 ? 1 : bucket_count, 0) {}
+
+LatencyHistogram::Sum LatencyHistogram::SaturatingMul(std::uint64_t value,
+                                                      std::uint64_t count) {
+#ifdef __SIZEOF_INT128__
+  // 64x64 -> 128 bits cannot overflow; only the running sum can saturate.
+  return static_cast<Sum>(value) * count;
+#else
+  if (value != 0 && count > UINT64_MAX / value) return static_cast<Sum>(-1);
+  return value * count;
+#endif
+}
+
 std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
   if (value < kLinearLimit) return static_cast<std::size_t>(value);
   const int msb = 63 - std::countl_zero(value);  // msb >= 5 here
@@ -46,17 +60,26 @@ void LatencyHistogram::RecordMany(std::uint64_t value, std::uint64_t count) {
   if (idx >= buckets_.size()) idx = buckets_.size() - 1;
   buckets_[idx] += count;
   count_ += count;
-  sum_ += value * count;
+  sum_ = SaturatingAdd(sum_, SaturatingMul(value, count));
   min_ = std::min(min_, value);
   max_ = std::max(max_, value);
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+  // The two tables are normally the same size, but never index in lockstep:
+  // a snapshot from a differently-configured build (see the bucket_count
+  // constructor) must merge, not read out of bounds.  Buckets beyond this
+  // table's range collapse into the last bucket, exactly as Record treats
+  // out-of-range values.
+  const std::size_t shared = std::min(buckets_.size(), other.buckets_.size());
+  for (std::size_t i = 0; i < shared; ++i) {
     buckets_[i] += other.buckets_[i];
   }
+  for (std::size_t i = shared; i < other.buckets_.size(); ++i) {
+    buckets_.back() += other.buckets_[i];
+  }
   count_ += other.count_;
-  sum_ += other.sum_;
+  sum_ = SaturatingAdd(sum_, other.sum_);
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }

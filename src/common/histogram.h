@@ -16,13 +16,22 @@ class LatencyHistogram {
  public:
   LatencyHistogram();
 
+  /// Construct with a non-default bucket count.  Exists for forward/backward
+  /// compatibility of persisted snapshots (a build with a different bucketing
+  /// table) and for the Merge size-mismatch tests; in-process callers always
+  /// want the default constructor.
+  explicit LatencyHistogram(std::size_t bucket_count);
+
   /// Record one sample (any unit; callers use nanoseconds by convention).
   void Record(std::uint64_t value);
 
-  /// Record `count` identical samples.
+  /// Record `count` identical samples.  The running sum saturates instead of
+  /// wrapping: ns-scale values at billions of samples exceed 64 bits.
   void RecordMany(std::uint64_t value, std::uint64_t count);
 
-  /// Merge another histogram into this one.
+  /// Merge another histogram into this one.  Tolerates a differently-sized
+  /// bucket table in `other` (samples beyond this table's range land in the
+  /// last bucket, as Record does for out-of-range values).
   void Merge(const LatencyHistogram& other);
 
   /// Value at quantile q in [0, 1]; returns 0 for an empty histogram.
@@ -40,13 +49,26 @@ class LatencyHistogram {
   /// One-line summary: "n=.. mean=.. p50=.. p99=.. max=..".
   std::string Summary() const;
 
- private:
+  // Bucketing scheme, exposed for the property tests and external decoders
+  // of exported histograms.
   static std::size_t BucketIndex(std::uint64_t value);
   static std::uint64_t BucketUpperBound(std::size_t index);
 
+ private:
+#ifdef __SIZEOF_INT128__
+  using Sum = unsigned __int128;
+#else
+  using Sum = std::uint64_t;  // saturating adds below keep this safe too
+#endif
+  static Sum SaturatingAdd(Sum a, Sum b) {
+    const Sum sum = a + b;
+    return sum < a ? static_cast<Sum>(-1) : sum;
+  }
+  static Sum SaturatingMul(std::uint64_t value, std::uint64_t count);
+
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
+  Sum sum_ = 0;
   std::uint64_t min_ = UINT64_MAX;
   std::uint64_t max_ = 0;
 };

@@ -5,22 +5,9 @@
 namespace dcart {
 
 void OpStats::Merge(const OpStats& other) {
-  operations += other.operations;
-  partial_key_matches += other.partial_key_matches;
-  nodes_visited += other.nodes_visited;
-  leaf_accesses += other.leaf_accesses;
-  lock_acquisitions += other.lock_acquisitions;
-  lock_contentions += other.lock_contentions;
-  atomic_ops += other.atomic_ops;
-  offchip_accesses += other.offchip_accesses;
-  offchip_bytes += other.offchip_bytes;
-  useful_bytes += other.useful_bytes;
-  onchip_hits += other.onchip_hits;
-  scan_entries += other.scan_entries;
-  combined_ops += other.combined_ops;
-  shortcut_hits += other.shortcut_hits;
-  shortcut_misses += other.shortcut_misses;
-  shortcut_invalidations += other.shortcut_invalidations;
+#define DCART_OPSTATS_MERGE(field) field += other.field;
+  DCART_OPSTATS_FIELDS(DCART_OPSTATS_MERGE)
+#undef DCART_OPSTATS_MERGE
 }
 
 double OpStats::CachelineUtilization() const {
@@ -35,12 +22,15 @@ double OpStats::RedundantRatio(std::uint64_t visits, std::uint64_t distinct) {
 }
 
 std::string OpStats::ToString() const {
+  // Every field, full names: this string is the text twin of the JSON
+  // export, and partial renderings have silently hidden fields before.
   std::ostringstream os;
-  os << "ops=" << operations << " pkm=" << partial_key_matches
-     << " nodes=" << nodes_visited << " locks=" << lock_acquisitions
-     << " contentions=" << lock_contentions << " atomics=" << atomic_ops
-     << " offchip=" << offchip_accesses << " shortcut_hits=" << shortcut_hits
-     << " scan_entries=" << scan_entries;
+  bool first = true;
+  ForEachField([&os, &first](const char* name, std::uint64_t value) {
+    if (!first) os << ' ';
+    first = false;
+    os << name << '=' << value;
+  });
   return os.str();
 }
 

@@ -12,6 +12,29 @@
 
 namespace dcart {
 
+// Single source of truth for OpStats' counter fields.  Merge, ToString, and
+// ForEachField (which feeds the obs JSON exporter) all expand this list, so
+// adding a field here automatically merges, renders, and exports it — a
+// field added to the struct but not to this list fails the
+// Stats.MergeAndRenderEveryField test.
+#define DCART_OPSTATS_FIELDS(X) \
+  X(operations)                 \
+  X(partial_key_matches)        \
+  X(nodes_visited)              \
+  X(leaf_accesses)              \
+  X(lock_acquisitions)          \
+  X(lock_contentions)           \
+  X(atomic_ops)                 \
+  X(offchip_accesses)           \
+  X(offchip_bytes)              \
+  X(useful_bytes)               \
+  X(onchip_hits)                \
+  X(scan_entries)               \
+  X(combined_ops)               \
+  X(shortcut_hits)              \
+  X(shortcut_misses)            \
+  X(shortcut_invalidations)
+
 struct OpStats {
   // -- Tree traversal ------------------------------------------------------
   std::uint64_t operations = 0;          // completed read/write operations
@@ -40,6 +63,15 @@ struct OpStats {
   std::uint64_t shortcut_invalidations = 0;
 
   void Merge(const OpStats& other);
+
+  /// Visit every counter field as (name, value) — the machine-readable twin
+  /// of ToString, used by the obs metrics exporter.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define DCART_OPSTATS_VISIT(field) fn(#field, field);
+    DCART_OPSTATS_FIELDS(DCART_OPSTATS_VISIT)
+#undef DCART_OPSTATS_VISIT
+  }
 
   /// Fraction of fetched bytes that were useful (Fig. 2(c)); 0 if no traffic.
   double CachelineUtilization() const;

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "simhw/conflict_model.h"
 
 namespace dcart::accel {
+
+namespace {
+
+// Virtual trace tracks for the simulated timeline: the PCU gets one, each
+// SOU its own ("pcu", "sou-0".."sou-N" in the exported JSON).
+constexpr std::uint32_t kPcuTrack = obs::Tracer::kFirstVirtualTrack;
+constexpr std::uint32_t SouTrack(std::size_t sou) {
+  return kPcuTrack + 1 + static_cast<std::uint32_t>(sou);
+}
+
+}  // namespace
 
 DcartEngine::DcartEngine(DcartConfig config, simhw::FpgaModel model)
     : config_(config), model_(model) {}
@@ -82,6 +94,29 @@ ExecutionResult DcartEngine::Run(std::span<const Operation> ops,
   double imbalance_sum = 0.0;
   std::size_t batches = 0;
 
+  // Simulated-cycle tracing: spans live on virtual tracks in *modeled* time
+  // (cycles converted at the model frequency), so the exported timeline
+  // shows the pipeline the model computed, not host wall-clock.
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool tracing = tracer.enabled();
+  const double us_per_cycle = 1e6 / model_.frequency_hz;
+  // Per-batch bucket spans, held until the pipeline timing below fixes the
+  // batch's SOU-stage start time.
+  struct BucketSpan {
+    std::size_t sou;
+    double cycles;
+    double trigger_cycles;
+    std::uint64_t ops;
+  };
+  std::vector<BucketSpan> bucket_spans;
+  if (tracing) {
+    tracer.SetTrackName(kPcuTrack, "pcu");
+    for (std::size_t s = 0; s < std::max<std::size_t>(1, config_.num_sous);
+         ++s) {
+      tracer.SetTrackName(SouTrack(s), "sou-" + std::to_string(s));
+    }
+  }
+
   for (std::size_t begin = 0; begin < ops.size(); begin += batch_size) {
     const std::size_t end = std::min(ops.size(), begin + batch_size);
     const std::size_t n = end - begin;
@@ -137,8 +172,15 @@ ExecutionResult DcartEngine::Run(std::span<const Operation> ops,
       if (buckets[b].empty()) continue;
       hbm.ResetChannels();
       Sou sou(shared);
-      sou_cycles[b % sou_cycles.size()] +=
-          sou.ProcessBucket(ops, buckets[b]);
+      const double trigger_before = breakdown.trigger + breakdown.contention;
+      const double bucket_cycles = sou.ProcessBucket(ops, buckets[b]);
+      sou_cycles[b % sou_cycles.size()] += bucket_cycles;
+      if (tracing) {
+        bucket_spans.push_back(
+            {b % sou_cycles.size(), bucket_cycles,
+             breakdown.trigger + breakdown.contention - trigger_before,
+             static_cast<std::uint64_t>(buckets[b].size())});
+      }
     }
     const double bytes_per_cycle =
         static_cast<double>(model_.hbm_channels * model_.hbm_burst_bytes) /
@@ -163,17 +205,45 @@ ExecutionResult DcartEngine::Run(std::span<const Operation> ops,
 
     // -------------------------------------------------- pipeline timing ---
     double batch_complete;
+    double pcu_start_cycle;
+    double sou_start_cycle;
     if (overlap_pcu_sou) {
-      const double pcu_start = pcu_done;  // PCU is free after previous batch
-      pcu_done = pcu_start + pcu_cycles;
-      const double sou_start = std::max(pcu_done, sou_done);
-      sou_done = sou_start + sou_stage;
+      pcu_start_cycle = pcu_done;  // PCU is free after previous batch
+      pcu_done = pcu_start_cycle + pcu_cycles;
+      sou_start_cycle = std::max(pcu_done, sou_done);
+      sou_done = sou_start_cycle + sou_stage;
       batch_complete = sou_done;
     } else {
-      const double start = std::max(pcu_done, sou_done);
-      pcu_done = start + pcu_cycles;
-      sou_done = pcu_done + sou_stage;
+      pcu_start_cycle = std::max(pcu_done, sou_done);
+      pcu_done = pcu_start_cycle + pcu_cycles;
+      sou_start_cycle = pcu_done;
+      sou_done = sou_start_cycle + sou_stage;
       batch_complete = sou_done;
+    }
+
+    if (tracing) {
+      tracer.RecordSpanOnTrack(kPcuTrack, "combine", "combine",
+                               pcu_start_cycle * us_per_cycle,
+                               pcu_cycles * us_per_cycle, "ops",
+                               static_cast<std::uint64_t>(n));
+      // Each SOU runs its buckets back to back from the stage start; a
+      // bucket's span splits into traverse (probe/descend/match) and
+      // trigger (apply + residual synchronization) from the SOU cycle
+      // breakdown deltas recorded above.
+      std::vector<double> sou_cursor(sou_cycles.size(), sou_start_cycle);
+      for (const BucketSpan& bs : bucket_spans) {
+        const double traverse_cycles = bs.cycles - bs.trigger_cycles;
+        tracer.RecordSpanOnTrack(SouTrack(bs.sou), "traverse", "traverse",
+                                 sou_cursor[bs.sou] * us_per_cycle,
+                                 traverse_cycles * us_per_cycle, "ops",
+                                 bs.ops);
+        tracer.RecordSpanOnTrack(
+            SouTrack(bs.sou), "trigger", "trigger",
+            (sou_cursor[bs.sou] + traverse_cycles) * us_per_cycle,
+            bs.trigger_cycles * us_per_cycle);
+        sou_cursor[bs.sou] += bs.cycles;
+      }
+      bucket_spans.clear();
     }
 
     if (latency != nullptr) {
@@ -208,6 +278,10 @@ ExecutionResult DcartEngine::Run(std::span<const Operation> ops,
   buffer_report_.mean_sou_imbalance =
       batches ? imbalance_sum / static_cast<double>(batches) : 0.0;
   buffer_report_.sou_breakdown = breakdown;
+
+  tree_buffer.PublishMetrics("dcart.tree_buffer");
+  shortcut_buffer.PublishMetrics("dcart.shortcut_buffer");
+  hbm.PublishMetrics("dcart.hbm");
   return result;
 }
 

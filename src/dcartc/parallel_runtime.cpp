@@ -7,6 +7,8 @@
 #include <thread>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resilience/fault_injector.h"
 
 namespace dcart::dcartc {
@@ -17,6 +19,27 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+// Pre-resolved registry handles.  Resolution (which takes the registry
+// mutex) happens exactly once, on the coordinator thread; workers never see
+// anything but their private WorkerResult — the coordinator publishes the
+// merged totals after the join (DL006 keeps registry lookups out of this
+// file's hot paths).
+struct RuntimeMetrics {
+  obs::Counter* shortcut_hits = DCART_METRIC_COUNTER("dcartc.shortcut_hits");
+  obs::Counter* shortcut_misses =
+      DCART_METRIC_COUNTER("dcartc.shortcut_misses");
+  obs::Counter* deferred_ops = DCART_METRIC_COUNTER("dcartc.deferred_ops");
+  obs::Counter* bucket_retries = DCART_METRIC_COUNTER("dcartc.bucket_retries");
+  obs::Counter* invariant_breaches =
+      DCART_METRIC_COUNTER("dcartc.invariant_breaches");
+  obs::Counter* batches = DCART_METRIC_COUNTER("dcartc.batches");
+};
+
+RuntimeMetrics& Metrics() {
+  static RuntimeMetrics metrics;
+  return metrics;
 }
 
 }  // namespace
@@ -217,6 +240,7 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
   // (see the demotion bookkeeping below), so the rest of this engine's life
   // runs the plain serial DCART-C path — slower, but unconditionally sound.
   if (demoted_) {
+    DCART_TRACE_SPAN("trigger-serial", "trigger");
     const auto serial_start = std::chrono::steady_clock::now();
     for (std::size_t i = begin; i < end; ++i) ApplySerial(ops[i], result);
     phases.trigger_seconds += SecondsSince(serial_start);
@@ -226,7 +250,13 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
   resilience::FaultInjector& injector = resilience::FaultInjector::Global();
   const bool faults_armed = injector.armed();
 
+  // One relaxed load per batch decides every tracing branch below; with
+  // tracing off the added cost in the per-bucket loops is a dead branch.
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool tracing = tracer.enabled();
+
   const auto combine_start = std::chrono::steady_clock::now();
+  const double combine_ts = tracing ? tracer.NowUs() : 0.0;
 
   // ----------------------------------------------------------- Combine ---
   std::vector<std::uint32_t>& deferred = deferred_;  // no parallel-safe home
@@ -243,8 +273,19 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
       deferred.push_back(static_cast<std::uint32_t>(i));
     }
     phases.combine_seconds += SecondsSince(combine_start);
+    if (tracing) {
+      tracer.RecordSpan("combine", "combine", combine_ts,
+                        tracer.NowUs() - combine_ts, "ops",
+                        static_cast<std::uint64_t>(end - begin));
+    }
     const auto trigger_start = std::chrono::steady_clock::now();
+    const double serial_ts = tracing ? tracer.NowUs() : 0.0;
     for (std::uint32_t idx : deferred) ApplySerial(ops[idx], result);
+    if (tracing) {
+      tracer.RecordSpan("trigger-serial", "trigger", serial_ts,
+                        tracer.NowUs() - serial_ts, "ops",
+                        static_cast<std::uint64_t>(deferred.size()));
+    }
     phases.trigger_seconds += SecondsSince(trigger_start);
     return;
   }
@@ -318,6 +359,11 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
     return buckets[a].op_indices.size() > buckets[b].op_indices.size();
   });
   phases.combine_seconds += SecondsSince(combine_start);
+  if (tracing) {
+    tracer.RecordSpan("combine", "combine", combine_ts,
+                      tracer.NowUs() - combine_ts, "buckets",
+                      static_cast<std::uint64_t>(active));
+  }
 
   // ------------------------------------------------ Traverse + Trigger ---
   const auto parallel_start = std::chrono::steady_clock::now();
@@ -354,6 +400,14 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
       ShortcutTable& table = *bucket.table;
       const std::vector<std::uint32_t>& idxs = bucket.op_indices;
       const std::size_t n = idxs.size();
+      // Per-bucket phase spans.  The group loop interleaves traversal work
+      // (hashing + warm passes) with trigger work (execute passes); the two
+      // spans rebuild contiguous per-phase intervals from accumulated
+      // segment times, so their boundary is an attribution, not a literal
+      // switch point (docs/OBSERVABILITY.md).
+      double bucket_ts = 0.0, mark_us = 0.0;
+      double traverse_us = 0.0, trigger_us = 0.0;
+      if (tracing) bucket_ts = mark_us = tracer.NowUs();
       // Keys this bucket has bounced to the serial phase; every later
       // operation on them must follow (arrival order survives the bounce).
       std::unordered_set<std::uint64_t> deferred_keys;
@@ -380,6 +434,11 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
         if (j + 8 < n) __builtin_prefetch(ops[idxs[j + 8]].key.data());
         hashes[j] = HashKey(ops[idxs[j]].key);
       }
+      if (tracing) {
+        const double now_us = tracer.NowUs();
+        traverse_us += now_us - mark_us;
+        mark_us = now_us;
+      }
 
       constexpr std::size_t kGroup = 32;
       std::array<art::Leaf*, kGroup> warm;
@@ -396,6 +455,11 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
         for (std::size_t k = 0; k < group_n; ++k) {
           if (warm[k] != nullptr) __builtin_prefetch(warm[k]->key.data());
         }
+      }
+      if (tracing) {
+        const double now_us = tracer.NowUs();
+        traverse_us += now_us - mark_us;
+        mark_us = now_us;
       }
       // Until something in this group mutates the table (a miss install, a
       // collision evict, a remove), the warm pass's answers are still the
@@ -496,7 +560,18 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
         }
         ++wr.operations;
       }
+      if (tracing) {
+        const double now_us = tracer.NowUs();
+        trigger_us += now_us - mark_us;
+        mark_us = now_us;
+      }
       }  // group loop
+      if (tracing) {
+        tracer.RecordSpan("traverse", "traverse", bucket_ts, traverse_us,
+                          "ops", static_cast<std::uint64_t>(n));
+        tracer.RecordSpan("trigger", "trigger", bucket_ts + traverse_us,
+                          trigger_us, "byte", bucket.byte);
+      }
     }
   };
   pool_->RunParallel(workers, worker_body);
@@ -513,9 +588,11 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
   };
   gather_failed();
   std::vector<std::size_t> retry_order;
+  RuntimeMetrics& metrics = Metrics();
   for (std::size_t attempt = 0;
        !failed.empty() && attempt < config_.max_bucket_retries; ++attempt) {
     result.bucket_retries += static_cast<std::uint32_t>(failed.size());
+    metrics.bucket_retries->Add(failed.size());
     const std::uint32_t backoff_us =
         std::min(config_.retry_backoff_us << attempt,
                  config_.retry_backoff_cap_us);
@@ -536,7 +613,13 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
     result.stats.shortcut_misses += wr.shortcut_misses;
     result.reads_hit += wr.reads_hit;
     result.invariant_breaches += wr.invariant_breaches;
+    metrics.shortcut_hits->Add(wr.shortcut_hits);
+    metrics.shortcut_misses->Add(wr.shortcut_misses);
+    metrics.invariant_breaches->Add(wr.invariant_breaches);
+    metrics.deferred_ops->Add(wr.deferred.size());
   }
+  metrics.deferred_ops->Add(deferred.size());
+  metrics.batches->Increment();
   tree_.AdjustSize(net_size);
   phases.traverse_seconds += SecondsSince(parallel_start);
 
@@ -546,6 +629,7 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
   // then each worker's bounces.  The three classes never share a key, and
   // each list is in arrival order, so per-key order holds globally.
   const auto trigger_start = std::chrono::steady_clock::now();
+  const double serial_ts = tracing ? tracer.NowUs() : 0.0;
   for (std::size_t bucket_index : failed) {
     for (std::uint32_t idx : bucket_pool_[bucket_index].op_indices) {
       ApplySerial(ops[idx], result);
@@ -554,6 +638,10 @@ void DcartCpEngine::RunBatch(std::span<const Operation> ops, std::size_t begin,
   for (std::uint32_t idx : deferred) ApplySerial(ops[idx], result);
   for (const WorkerResult& wr : worker_results) {
     for (std::uint32_t idx : wr.deferred) ApplySerial(ops[idx], result);
+  }
+  if (tracing) {
+    tracer.RecordSpan("trigger-serial", "trigger", serial_ts,
+                      tracer.NowUs() - serial_ts);
   }
   phases.trigger_seconds += SecondsSince(trigger_start);
 

@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer for the observability exporters.
+//
+// Produces compact, valid JSON (RFC 8259): automatic comma placement via a
+// nesting stack, string escaping, and non-finite-double handling (NaN/Inf
+// are emitted as 0 with no error — JSON has no spelling for them and a
+// metrics snapshot must never be unloadable).  Not a general serializer: no
+// pretty-printing, no parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcart::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object key; must be followed by exactly one value (or Begin*).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& UInt(std::uint64_t value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+
+  // Key-value conveniences.
+  JsonWriter& KV(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(std::string_view key, const char* value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(std::string_view key, std::uint64_t value) {
+    return Key(key).UInt(value);
+  }
+  JsonWriter& KV(std::string_view key, std::int64_t value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& KV(std::string_view key, double value) {
+    return Key(key).Double(value);
+  }
+  JsonWriter& KV(std::string_view key, bool value) {
+    return Key(key).Bool(value);
+  }
+
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: true once the first element was written
+  // (the next element needs a leading comma).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace dcart::obs

@@ -1,0 +1,89 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace dcart::obs {
+
+std::size_t Counter::CellIndex() {
+  static std::atomic<std::size_t> next_ordinal{0};
+  thread_local const std::size_t ordinal =
+      next_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal % kStripes;
+}
+
+std::uint64_t Gauge::Encode(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+double Gauge::Decode(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return it->second.get();
+}
+
+HistogramHandle* MetricsRegistry::GetHistogram(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<HistogramHandle>(new HistogramHandle()))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
+  Snapshot snapshot;
+  MutexLock lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  MutexLock lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    for (Counter::Cell& cell : counter->cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->bits_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    MutexLock histogram_lock(histogram->mu_);
+    histogram->histogram_.Reset();
+  }
+}
+
+}  // namespace dcart::obs

@@ -1,0 +1,181 @@
+// Process-wide metrics registry: named monotonic counters, gauges, and
+// latency-histogram handles.
+//
+// The paper's entire evaluation is event-count driven (partial key matches,
+// lock contentions, off-chip traffic), so every layer of the system — the
+// engines' OpStats, the simhw buffer/HBM models, the DCART-CP parallel
+// runtime, and the resilience layer — publishes into one registry that the
+// bench exporters snapshot into machine-readable JSON (obs/export.h).
+//
+// Naming scheme (docs/OBSERVABILITY.md): `<layer>.<component>.<event>`,
+// lowercase, dot-separated, e.g. `dcartc.shortcut_hits`,
+// `dcart.tree_buffer.evictions`, `resilience.journal.records`.
+//
+// Concurrency contract, by API tier:
+//   - Handle *resolution* (GetCounter/GetGauge/GetHistogram) takes the
+//     registry mutex.  It is for setup paths only; trigger-phase hot paths
+//     must pre-resolve handles via the DCART_METRIC_* macros below (enforced
+//     by dcart_lint rule DL006).
+//   - Counter::Add is wait-free: it increments one of a fixed set of
+//     cache-line-padded per-thread-striped atomic cells.
+//   - Gauge::Set/Add are single-atomic operations.
+//   - Histogram recording takes a per-handle mutex (cheap, but not for the
+//     trigger phase — benches record per batch, not per op).
+//   - Collect() aggregates everything under the registry mutex; it must not
+//     race a concurrent *handle resolution free* hot path only in the sense
+//     that counter reads are relaxed — a snapshot taken mid-run is a valid
+//     (slightly stale) cut, never a torn value.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+#include "common/mutex.h"
+
+namespace dcart::obs {
+
+/// Monotonically increasing event counter.  Add() is wait-free; Value()
+/// sums the stripes (a relaxed aggregate, exact once writers quiesce).
+class Counter {
+ public:
+  void Add(std::uint64_t delta) {
+    cells_[CellIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  std::uint64_t Value() const {
+    std::uint64_t sum = 0;
+    for (const Cell& cell : cells_) {
+      sum += cell.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  // One cache line per stripe so concurrent writers never share a line;
+  // threads hash onto stripes by a process-unique thread ordinal.
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  static constexpr std::size_t kStripes = 16;
+
+  static std::size_t CellIndex();
+
+  std::array<Cell, kStripes> cells_{};
+};
+
+/// Last-write-wins instantaneous value (buffer occupancy, hit rates, ...).
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(Encode(value), std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(expected,
+                                        Encode(Decode(expected) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const {
+    return Decode(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  static std::uint64_t Encode(double v);
+  static double Decode(std::uint64_t bits);
+
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Mutex-guarded LatencyHistogram handle.  Fine for per-batch or per-request
+/// recording in benches and services; NOT for the trigger-phase inner loops
+/// (record into a thread-private LatencyHistogram there and Merge after the
+/// join, as the DCART-CP WorkerResult pattern does).
+class HistogramHandle {
+ public:
+  void Record(std::uint64_t value) {
+    MutexLock lock(mu_);
+    histogram_.Record(value);
+  }
+  void RecordMany(std::uint64_t value, std::uint64_t count) {
+    MutexLock lock(mu_);
+    histogram_.RecordMany(value, count);
+  }
+  void MergeFrom(const LatencyHistogram& other) {
+    MutexLock lock(mu_);
+    histogram_.Merge(other);
+  }
+  LatencyHistogram Snapshot() const {
+    MutexLock lock(mu_);
+    return histogram_;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramHandle() = default;
+
+  mutable Mutex mu_;
+  LatencyHistogram histogram_ GUARDED_BY(mu_);
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every layer publishes into.
+  static MetricsRegistry& Global();
+
+  /// Create-or-get by name.  Handles are stable for the registry's lifetime
+  /// (the process), so callers cache the pointer and never re-resolve.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  HistogramHandle* GetHistogram(std::string_view name);
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, LatencyHistogram> histograms;
+  };
+  Snapshot Collect() const;
+
+  /// Zero every metric while keeping all handles valid (tests and
+  /// between-run resets; handles cached by hot paths keep working).
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable Mutex mu_;
+  // std::map: node-based, so handle pointers survive later insertions.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramHandle>, std::less<>>
+      histograms_ GUARDED_BY(mu_);
+};
+
+}  // namespace dcart::obs
+
+// Pre-resolved handle macros for hot-path files.  The registry lookup (which
+// takes the registry mutex) happens exactly once — at namespace-scope static
+// initialization or first execution — and the recording path only ever sees
+// the cached pointer.  dcart_lint rule DL006 forbids direct registry-lookup
+// calls in trigger-phase files; these macros are the sanctioned alternative.
+#define DCART_METRIC_COUNTER(name) \
+  (::dcart::obs::MetricsRegistry::Global().GetCounter(name))
+#define DCART_METRIC_GAUGE(name) \
+  (::dcart::obs::MetricsRegistry::Global().GetGauge(name))
+#define DCART_METRIC_HISTOGRAM(name) \
+  (::dcart::obs::MetricsRegistry::Global().GetHistogram(name))

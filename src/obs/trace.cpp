@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace dcart::obs {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local ThreadBuffer* local = nullptr;
+  thread_local Tracer* owner = nullptr;
+  if (local == nullptr || owner != this) {
+    MutexLock lock(mu_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->track = static_cast<std::uint32_t>(buffers_.size());
+    local = buffer.get();
+    owner = this;
+    buffers_.push_back(std::move(buffer));
+  }
+  return *local;
+}
+
+void Tracer::Enable() {
+  Clear();
+  origin_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+double Tracer::NowUs() const {
+  if (!enabled()) return 0.0;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void Tracer::RecordSpan(const char* name, const char* category, double ts_us,
+                        double dur_us, const char* arg_name,
+                        std::uint64_t arg_value) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  buffer.events.push_back(
+      {name, category, ts_us, dur_us, buffer.track, arg_name, arg_value});
+}
+
+void Tracer::RecordSpanOnTrack(std::uint32_t track, const char* name,
+                               const char* category, double ts_us,
+                               double dur_us, const char* arg_name,
+                               std::uint64_t arg_value) {
+  if (!enabled()) return;
+  LocalBuffer().events.push_back(
+      {name, category, ts_us, dur_us, track, arg_name, arg_value});
+}
+
+void Tracer::SetTrackName(std::uint32_t track, std::string name) {
+  MutexLock lock(mu_);
+  track_names_[track] = std::move(name);
+}
+
+std::string Tracer::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("displayTimeUnit", "ns");
+  json.Key("traceEvents").BeginArray();
+  MutexLock lock(mu_);
+  for (const auto& [track, name] : track_names_) {
+    json.BeginObject()
+        .KV("ph", "M")
+        .KV("pid", std::uint64_t{1})
+        .KV("tid", static_cast<std::uint64_t>(track))
+        .KV("name", "thread_name")
+        .Key("args")
+        .BeginObject()
+        .KV("name", name)
+        .EndObject()
+        .EndObject();
+  }
+  for (const auto& buffer : buffers_) {
+    for (const TraceEvent& event : buffer->events) {
+      json.BeginObject()
+          .KV("ph", "X")
+          .KV("pid", std::uint64_t{1})
+          .KV("tid", static_cast<std::uint64_t>(event.track))
+          .KV("name", event.name)
+          .KV("cat", event.category)
+          .KV("ts", event.ts_us)
+          .KV("dur", event.dur_us);
+      if (event.arg_name != nullptr) {
+        json.Key("args").BeginObject().KV(event.arg_name, event.arg_value)
+            .EndObject();
+      }
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  const std::string body = ToJson();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Error("trace: cannot open " + path + " for writing");
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != body.size() || !closed) {
+    return Status::Error("trace: short write to " + path);
+  }
+  return Status::Ok();
+}
+
+void Tracer::Clear() {
+  MutexLock lock(mu_);
+  for (auto& buffer : buffers_) {
+    buffer->events.clear();
+  }
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::vector<TraceEvent> events;
+  MutexLock lock(mu_);
+  for (const auto& buffer : buffers_) {
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return events;
+}
+
+}  // namespace dcart::obs

@@ -18,6 +18,24 @@ FaultPlan FaultPlanFromFlags(const CliFlags& flags) {
   return plan;
 }
 
+Status ValidateFaultFlags(const CliFlags& flags) {
+  for (const std::string& name : flags.FlagNames()) {
+    if (!name.starts_with("fault-")) continue;
+    if (name == "fault-seed") continue;
+    bool known = false;
+    for (std::size_t i = 0; i < kNumFaultSites && !known; ++i) {
+      const std::string site =
+          std::string("fault-") + FaultSiteName(static_cast<FaultSite>(i));
+      known = name == site || name == site + "-at";
+    }
+    if (!known) {
+      return Status::Error("unknown fault flag --" + name +
+                           " (see resilience/fault_cli.h for valid sites)");
+    }
+  }
+  return Status::Ok();
+}
+
 std::string FaultReport(const FaultInjector& injector) {
   std::string report;
   for (std::size_t i = 0; i < kNumFaultSites; ++i) {

@@ -21,4 +21,10 @@ FaultPlan FaultPlanFromFlags(const CliFlags& flags);
 /// One line per armed site with check/fire counts, for end-of-run reports.
 std::string FaultReport(const FaultInjector& injector);
 
+/// Reject `--fault-*` flags that name no known site: a typo like
+/// --fault-hbm-read-corupt=0.5 would otherwise run the experiment with fault
+/// injection silently disabled.  Valid names are `fault-seed` plus, for each
+/// site, `fault-<site>` and `fault-<site>-at`.
+Status ValidateFaultFlags(const CliFlags& flags);
+
 }  // namespace dcart::resilience

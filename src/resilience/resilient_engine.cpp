@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "art/serialize.h"
+#include "obs/metrics.h"
 #include "resilience/fault_injector.h"
 
 namespace dcart::resilience {
@@ -13,6 +14,22 @@ namespace dcart::resilience {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Process-wide durability/recovery event counters (docs/OBSERVABILITY.md).
+struct ResilienceMetrics {
+  obs::Counter* journal_records =
+      DCART_METRIC_COUNTER("resilience.journal.records");
+  obs::Counter* checkpoints = DCART_METRIC_COUNTER("resilience.checkpoints");
+  obs::Counter* crashes = DCART_METRIC_COUNTER("resilience.crashes");
+  obs::Counter* recoveries = DCART_METRIC_COUNTER("resilience.recoveries");
+  obs::Counter* recovered_ops =
+      DCART_METRIC_COUNTER("resilience.recovered_ops");
+};
+
+ResilienceMetrics& Metrics() {
+  static ResilienceMetrics metrics;
+  return metrics;
+}
 
 /// Parse "<stem>-<N><suffix>" into N; nullopt for anything else.
 std::optional<std::uint64_t> ParseGeneration(const std::string& filename,
@@ -107,6 +124,7 @@ Status ResilientEngine::Checkpoint() {
   }
   generation_ = next;
   batches_since_snapshot_ = 0;
+  Metrics().checkpoints->Increment();
   // Prune generations that recovery can no longer need: keeping the last K
   // snapshots requires journals from the oldest kept generation forward.
   if (generation_ > options_.keep_generations) {
@@ -175,6 +193,7 @@ ExecutionResult ResilientEngine::Run(std::span<const Operation> ops,
     if (FaultCheck(FaultSite::kCrashAtBatchBoundary)) {
       crashed_ = true;
       journal_.Close();  // the dying process takes its descriptor with it
+      Metrics().crashes->Increment();
       result.status.Update(
           Status::Error("simulated crash at batch boundary"));
       break;
@@ -186,9 +205,11 @@ ExecutionResult ResilientEngine::Run(std::span<const Operation> ops,
         // not acknowledged and must not execute — recovery would lose it.
         crashed_ = true;
         journal_.Close();
+        Metrics().crashes->Increment();
         result.status.Update(journaled);
         break;
       }
+      Metrics().journal_records->Add(batch.size());
     }
     MergeResults(result, engine_->Run(batch, inner));
     result.ops_acknowledged += batch.size();
@@ -251,6 +272,8 @@ bool ResilientEngine::Recover() {
     load_status_ = Status::Ok();  // recovery supersedes any parked failure
     generation_ = max_gen;  // checkpoint below bumps past every old file
     batches_since_snapshot_ = 0;
+    Metrics().recoveries->Increment();
+    Metrics().recovered_ops->Add(recovered_ops_);
     return Checkpoint().ok();
   }
   return false;

@@ -1,7 +1,9 @@
 #include "simhw/hbm_model.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.h"
 #include "resilience/fault_injector.h"
 
 namespace dcart::simhw {
@@ -52,6 +54,14 @@ void HbmModel::Reset() {
   accesses_ = 0;
   bytes_ = 0;
   faults_ = 0;
+}
+
+void HbmModel::PublishMetrics(std::string_view prefix) const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string base(prefix);
+  registry.GetCounter(base + ".accesses")->Add(accesses_);
+  registry.GetCounter(base + ".bytes")->Add(bytes_);
+  registry.GetCounter(base + ".faults")->Add(faults_);
 }
 
 }  // namespace dcart::simhw

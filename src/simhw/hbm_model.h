@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace dcart::simhw {
@@ -33,6 +34,11 @@ class HbmModel {
   void ResetChannels();
 
   void Reset();
+
+  /// Accumulate this model's traffic totals into the global metrics registry
+  /// under `<prefix>.accesses`, `.bytes`, `.faults` (one per-run object, one
+  /// end-of-run publish — see NodeBuffer::PublishMetrics).
+  void PublishMetrics(std::string_view prefix) const;
 
  private:
   std::size_t channels_;

@@ -1,6 +1,8 @@
 #include "simhw/node_buffer.h"
 
+#include <string>
 
+#include "obs/metrics.h"
 #include "resilience/fault_injector.h"
 
 namespace dcart::simhw {
@@ -92,6 +94,17 @@ void NodeBuffer::Reset() {
   evictions_ = 0;
   bypasses_ = 0;
   ecc_events_ = 0;
+}
+
+void NodeBuffer::PublishMetrics(std::string_view prefix) const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string base(prefix);
+  registry.GetCounter(base + ".hits")->Add(hits_);
+  registry.GetCounter(base + ".misses")->Add(misses_);
+  registry.GetCounter(base + ".evictions")->Add(evictions_);
+  registry.GetCounter(base + ".bypasses")->Add(bypasses_);
+  registry.GetCounter(base + ".ecc_events")->Add(ecc_events_);
+  registry.GetGauge(base + ".hit_rate")->Set(HitRate());
 }
 
 }  // namespace dcart::simhw

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <string_view>
 #include <unordered_map>
 
 namespace dcart::simhw {
@@ -50,6 +51,12 @@ class NodeBuffer {
   }
 
   void Reset();
+
+  /// Accumulate this buffer's totals into the global metrics registry under
+  /// `<prefix>.hits`, `.misses`, `.evictions`, `.bypasses`, `.ecc_events`
+  /// plus the `<prefix>.hit_rate` gauge.  Buffers are per-run objects, so
+  /// one publish at end-of-run adds exactly this run's traffic.
+  void PublishMetrics(std::string_view prefix) const;
 
  private:
   struct Entry {

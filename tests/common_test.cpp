@@ -6,6 +6,7 @@
 #include <atomic>
 #include <map>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -327,6 +328,47 @@ TEST(Histogram, HugeValuesDoNotOverflowBuckets) {
   EXPECT_GE(h.Quantile(1.0), UINT64_MAX / 2);
 }
 
+// Regression: value * count used to be a plain uint64 product, so ns-scale
+// values at billions of samples wrapped the running sum and Mean() came out
+// tiny.  The sum is now 128-bit (saturating), so the mean stays exact.
+TEST(Histogram, RecordManySumDoesNotOverflow) {
+  LatencyHistogram h;
+  const std::uint64_t value = std::uint64_t{1} << 40;  // ~1100 s in ns
+  const std::uint64_t count = std::uint64_t{1} << 25;  // 2^65 total: > uint64
+  h.RecordMany(value, count);
+  EXPECT_EQ(h.Count(), count);
+  EXPECT_NEAR(h.Mean(), static_cast<double>(value),
+              static_cast<double>(value) * 1e-9);
+}
+
+TEST(Histogram, MergeNearOverflowKeepsMeanExact) {
+  LatencyHistogram a, b;
+  a.RecordMany(std::uint64_t{1} << 40, std::uint64_t{1} << 24);
+  b.RecordMany(std::uint64_t{1} << 40, std::uint64_t{1} << 24);
+  a.Merge(b);  // combined sum 2^65: wraps a 64-bit accumulator
+  EXPECT_EQ(a.Count(), std::uint64_t{1} << 25);
+  EXPECT_NEAR(a.Mean(), static_cast<double>(std::uint64_t{1} << 40), 1e3);
+}
+
+// Regression: merging a histogram with a different bucket-table size used to
+// index out of bounds; out-of-range samples must fold into the last bucket.
+TEST(Histogram, MergeToleratesDifferentBucketCounts) {
+  LatencyHistogram small(8);
+  small.Record(3);
+  LatencyHistogram full;
+  full.Record(1'000'000);  // far beyond an 8-bucket table
+  full.Record(5);
+  small.Merge(full);
+  EXPECT_EQ(small.Count(), 3u);
+  EXPECT_EQ(small.Max(), 1'000'000u);
+  EXPECT_EQ(small.Min(), 3u);
+
+  LatencyHistogram wide;
+  wide.Record(7);
+  wide.Merge(small);  // small table into the default-size table
+  EXPECT_EQ(wide.Count(), 4u);
+}
+
 // ----------------------------------------------------------------- stats ---
 
 TEST(Stats, MergeAddsEveryField) {
@@ -343,6 +385,54 @@ TEST(Stats, MergeAddsEveryField) {
   EXPECT_EQ(a.partial_key_matches, 22u);
   EXPECT_EQ(a.lock_contentions, 33u);
   EXPECT_EQ(a.shortcut_hits, 5u);
+}
+
+// Regression: Merge and ToString used to hand-list fields, so newer counters
+// (scan_entries, the shortcut family) silently vanished from merged stats
+// and reports.  Distinct primes per field make any dropped or crossed field
+// show up as a wrong sum.
+TEST(Stats, MergeAndRenderEveryField) {
+  OpStats a, b;
+  std::uint64_t prime = 2;
+  auto next_prime = [&prime] {
+    auto is_prime = [](std::uint64_t n) {
+      for (std::uint64_t d = 2; d * d <= n; ++d) {
+        if (n % d == 0) return false;
+      }
+      return n >= 2;
+    };
+    while (!is_prime(prime)) ++prime;
+    return prime++;
+  };
+  std::map<std::string, std::uint64_t> expected;
+#define DCART_TEST_FILL(field)        \
+  {                                   \
+    const std::uint64_t pa = next_prime(); \
+    const std::uint64_t pb = next_prime(); \
+    a.field = pa;                     \
+    b.field = pb;                     \
+    expected[#field] = pa + pb;       \
+  }
+  DCART_OPSTATS_FIELDS(DCART_TEST_FILL)
+#undef DCART_TEST_FILL
+  a.Merge(b);
+
+  std::size_t fields_seen = 0;
+  a.ForEachField([&](const char* name, std::uint64_t value) {
+    ++fields_seen;
+    ASSERT_TRUE(expected.contains(name)) << name;
+    EXPECT_EQ(value, expected.at(name)) << "field " << name << " mismerged";
+  });
+  EXPECT_EQ(fields_seen, expected.size());
+
+  // Every field (with its merged value) must appear in the rendering.
+  const std::string rendered = a.ToString();
+  for (const auto& [name, value] : expected) {
+    EXPECT_NE(rendered.find(name), std::string::npos)
+        << "field " << name << " missing from ToString";
+    EXPECT_NE(rendered.find(std::to_string(value)), std::string::npos)
+        << "merged value of " << name << " missing from ToString";
+  }
 }
 
 TEST(Stats, CachelineUtilization) {

@@ -1,0 +1,140 @@
+// Property tests for LatencyHistogram (common/histogram.h): the bucketing
+// scheme round-trips, quantiles are monotone, and Merge is equivalent to
+// recording the concatenated sample stream — across random streams spanning
+// the full nanosecond..second value range.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace dcart {
+namespace {
+
+std::vector<std::uint64_t> RandomStream(std::mt19937_64& rng,
+                                        std::size_t count) {
+  // Log-uniform values: pick a random bit width, then a random value of that
+  // width, so every histogram decade gets traffic.
+  std::uniform_int_distribution<int> bits(0, 40);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int b = bits(rng);
+    std::uniform_int_distribution<std::uint64_t> value(
+        0, (std::uint64_t{1} << b) - 1 + (std::uint64_t{1} << b));
+    out.push_back(value(rng));
+  }
+  return out;
+}
+
+TEST(HistogramProperty, BucketIndexAndUpperBoundRoundTrip) {
+  // Every value lands in a bucket whose upper bound is >= the value, and
+  // the previous bucket's upper bound is < the value.
+  std::mt19937_64 rng(0xD0C5);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::uniform_int_distribution<int> bits(0, 63);
+    std::uniform_int_distribution<std::uint64_t> low(0, ~std::uint64_t{0});
+    const std::uint64_t value = low(rng) >> bits(rng);
+    const std::size_t index = LatencyHistogram::BucketIndex(value);
+    EXPECT_GE(LatencyHistogram::BucketUpperBound(index), value)
+        << "value " << value << " above its bucket's upper bound";
+    if (index > 0) {
+      EXPECT_LT(LatencyHistogram::BucketUpperBound(index - 1), value)
+          << "value " << value << " also fits the previous bucket";
+    }
+    // The upper bound is itself a member of the bucket it bounds.
+    EXPECT_EQ(LatencyHistogram::BucketIndex(
+                  LatencyHistogram::BucketUpperBound(index)),
+              index);
+  }
+}
+
+TEST(HistogramProperty, QuantilesAreMonotone) {
+  std::mt19937_64 rng(0xA11CE);
+  for (int trial = 0; trial < 50; ++trial) {
+    LatencyHistogram h;
+    for (std::uint64_t v : RandomStream(rng, 2'000)) h.Record(v);
+    std::uint64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+      const std::uint64_t cur = h.Quantile(q);
+      EXPECT_GE(cur, prev) << "quantile regression at q=" << q;
+      prev = cur;
+    }
+    EXPECT_GE(h.Quantile(0.0), h.Min());
+    EXPECT_LE(h.Quantile(1.0),
+              LatencyHistogram::BucketUpperBound(
+                  LatencyHistogram::BucketIndex(h.Max())));
+  }
+}
+
+TEST(HistogramProperty, MergeEqualsConcatenatedStream) {
+  std::mt19937_64 rng(0xBEEF);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<std::uint64_t> a = RandomStream(rng, 1'000);
+    const std::vector<std::uint64_t> b = RandomStream(rng, 1'500);
+
+    LatencyHistogram ha, hb, concat;
+    for (std::uint64_t v : a) {
+      ha.Record(v);
+      concat.Record(v);
+    }
+    for (std::uint64_t v : b) {
+      hb.Record(v);
+      concat.Record(v);
+    }
+    ha.Merge(hb);
+
+    EXPECT_EQ(ha.Count(), concat.Count());
+    EXPECT_EQ(ha.Min(), concat.Min());
+    EXPECT_EQ(ha.Max(), concat.Max());
+    EXPECT_DOUBLE_EQ(ha.Mean(), concat.Mean());
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(ha.Quantile(q), concat.Quantile(q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(HistogramProperty, MergeIsCommutativeOnQuantiles) {
+  std::mt19937_64 rng(0xC0FFEE);
+  const std::vector<std::uint64_t> a = RandomStream(rng, 1'000);
+  const std::vector<std::uint64_t> b = RandomStream(rng, 1'000);
+  LatencyHistogram ab, ba;
+  {
+    LatencyHistogram ha, hb;
+    for (std::uint64_t v : a) ha.Record(v);
+    for (std::uint64_t v : b) hb.Record(v);
+    ab = ha;
+    ab.Merge(hb);
+    ba = hb;
+    ba.Merge(ha);
+  }
+  EXPECT_EQ(ab.Count(), ba.Count());
+  EXPECT_DOUBLE_EQ(ab.Mean(), ba.Mean());
+  for (double q : {0.01, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(ab.Quantile(q), ba.Quantile(q));
+  }
+}
+
+TEST(HistogramProperty, RecordManyMatchesRepeatedRecord) {
+  std::mt19937_64 rng(0x5EED);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uniform_int_distribution<std::uint64_t> value(0, 1u << 20);
+    std::uniform_int_distribution<std::uint64_t> count(1, 50);
+    const std::uint64_t v = value(rng);
+    const std::uint64_t n = count(rng);
+    LatencyHistogram many, repeated;
+    many.RecordMany(v, n);
+    for (std::uint64_t i = 0; i < n; ++i) repeated.Record(v);
+    EXPECT_EQ(many.Count(), repeated.Count());
+    EXPECT_EQ(many.Min(), repeated.Min());
+    EXPECT_EQ(many.Max(), repeated.Max());
+    EXPECT_DOUBLE_EQ(many.Mean(), repeated.Mean());
+    EXPECT_EQ(many.Quantile(0.5), repeated.Quantile(0.5));
+  }
+}
+
+}  // namespace
+}  // namespace dcart

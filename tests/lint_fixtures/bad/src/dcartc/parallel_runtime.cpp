@@ -1,0 +1,7 @@
+#include "obs/metrics.h"
+
+void TriggerHotPath() {
+  dcart::obs::MetricsRegistry::Global().GetCounter("ops")->Increment();
+  auto* gauge = dcart::obs::MetricsRegistry::Global().GetGauge("depth");
+  gauge->Set(1.0);
+}

@@ -1,0 +1,15 @@
+#include "obs/metrics.h"
+
+namespace {
+dcart::obs::Counter* ops_counter = DCART_METRIC_COUNTER("dcartc.ops");
+}
+
+// Handles resolved once at coordinator scope; the hot path only bumps them.
+void TriggerHotPath() {
+  ops_counter->Increment();
+}
+
+// End-of-run aggregation is not a hot path; the suppression documents that.
+void PublishFinalSnapshot() {
+  dcart::obs::MetricsRegistry::Global();  // dcart-lint: allow(DL006)
+}

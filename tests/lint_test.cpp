@@ -36,6 +36,8 @@ TEST(DcartLint, BadCorpusEveryRuleFiresAtTheExpectedLine) {
       {kTriggerPhaseBlockingLock, "src/dcart/sou.cpp", 1},
       {kTriggerPhaseBlockingLock, "src/dcart/sou.cpp", 4},
       {kTriggerPhaseBlockingLock, "src/dcart/sou.cpp", 8},
+      {kTriggerPhaseRegistryMetrics, "src/dcartc/parallel_runtime.cpp", 4},
+      {kTriggerPhaseRegistryMetrics, "src/dcartc/parallel_runtime.cpp", 5},
       {kRelaxedAtomicScope, "src/dcartc/relaxed_misuse.cpp", 4},
       {kFaultSiteRegistry, "src/resilience/fault_cli.cpp", 0},
       {kFaultSiteRegistry, "src/resilience/fault_injector.cpp", 0},

@@ -329,6 +329,37 @@ void CheckRawIoOutsideHelper(const SourceFile& file,
   }
 }
 
+// ------------------------------------------------------------------ DL006 --
+// The obs::MetricsRegistry keeps names in a mutex-guarded map; a
+// GetCounter/GetGauge/GetHistogram lookup (string hashing + lock) inside a
+// trigger-phase hot path would put a lock and an allocation on exactly the
+// per-operation path the lock-free contract protects.  Hot-path files must
+// go through the DCART_METRIC_* handle macros, resolved once at coordinator
+// scope (static or per-batch), and bump the returned Counter*/Gauge*
+// handles — those are wait-free.
+void CheckTriggerPhaseRegistryMetrics(const SourceFile& file,
+                                      std::vector<Finding>& findings) {
+  static const std::set<std::string> scope = {
+      "src/dcart/sou.h",
+      "src/dcart/sou.cpp",
+      "src/dcartc/parallel_runtime.cpp",
+  };
+  if (!scope.count(file.rel)) return;
+  static const std::regex registry_use(
+      R"(\b(MetricsRegistry|GetCounter|GetGauge|GetHistogram)\s*[(<:])"
+      R"(|MetricsRegistry::Global)");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(file.code[i], m, registry_use)) continue;
+    if (Suppressed(file, i, kTriggerPhaseRegistryMetrics)) continue;
+    findings.push_back(
+        {kTriggerPhaseRegistryMetrics, file.rel, i + 1,
+         "metrics-registry lookup in a trigger-phase hot path; resolve "
+         "handles once via the DCART_METRIC_* macros (obs/metrics.h) at "
+         "coordinator scope and bump the returned handle"});
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> RunLint(const std::string& root) {
@@ -340,6 +371,7 @@ std::vector<Finding> RunLint(const std::string& root) {
     CheckTriggerPhaseBlockingLock(file, findings);
     CheckBareAssert(file, findings);
     CheckRawIoOutsideHelper(file, findings);
+    CheckTriggerPhaseRegistryMetrics(file, findings);
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
