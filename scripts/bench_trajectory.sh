@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Performance-trajectory baseline: run the two headline benches through
+# their --metrics-json exporters and fold both snapshots into one dated
+# BENCH_<date>.json for committing at the repo root.
+#
+#   scripts/bench_trajectory.sh [build-dir] [out-file]
+#
+# The committed series (BENCH_2026-08-08.json, BENCH_<next>.json, ...) is
+# the repo's performance trajectory: diffing two files shows how modeled
+# fig9 numbers and real-thread wallclock_ctt numbers moved between
+# checkpoints.  Scales are fixed here so the files stay comparable; the
+# wallclock numbers still move with the host, which is why the snapshot
+# records the machine alongside them.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_FILE="${2:-${REPO_DIR}/BENCH_$(date +%F).json}"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+# Fixed scales: large enough that the CTT pipeline actually fills, small
+# enough that the whole run stays under a minute on a laptop.
+FIG9_SCALE="--keys=20000 --ops=60000"
+WALLCLOCK_SCALE="--keys=20000 --ops=60000 --threads=4 --reps=3"
+
+echo "== fig9_performance (modeled, all engines x all workloads) =="
+"${BUILD_DIR}/bench/fig9_performance" ${FIG9_SCALE} \
+    --metrics-json="${TMP_DIR}/fig9.json" > /dev/null
+
+echo "== wallclock_ctt (real threads) =="
+"${BUILD_DIR}/bench/wallclock_ctt" ${WALLCLOCK_SCALE} \
+    --metrics-json="${TMP_DIR}/wallclock.json" > /dev/null
+
+echo "== validating snapshots =="
+python3 "${REPO_DIR}/scripts/check_metrics_json.py" "${TMP_DIR}/fig9.json"
+python3 "${REPO_DIR}/scripts/check_metrics_json.py" "${TMP_DIR}/wallclock.json"
+
+echo "== merging -> ${OUT_FILE} =="
+python3 - "${TMP_DIR}/fig9.json" "${TMP_DIR}/wallclock.json" \
+    "${OUT_FILE}" <<'PY'
+import json
+import platform
+import subprocess
+import sys
+
+fig9_path, wallclock_path, out_path = sys.argv[1:4]
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def git(*args):
+    try:
+        return subprocess.check_output(("git", *args), text=True).strip()
+    except Exception:  # not a checkout / git missing: still emit a baseline
+        return ""
+
+
+snapshots = {"fig9_performance": load(fig9_path),
+             "wallclock_ctt": load(wallclock_path)}
+merged = {
+    "baseline_version": 1,
+    "date": snapshots["fig9_performance"].get("timestamp", ""),
+    "commit": git("rev-parse", "HEAD"),
+    "machine": {
+        "platform": platform.platform(),
+        "processor": platform.processor() or platform.machine(),
+    },
+    "benches": snapshots,
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1, sort_keys=True)
+    f.write("\n")
+
+runs = sum(len(s.get("runs", [])) for s in snapshots.values())
+print(f"wrote {out_path}: {runs} runs across {len(snapshots)} benches")
+PY

@@ -21,7 +21,7 @@ FAILED=0
 note() { printf '\n== %s\n' "$*"; }
 
 # ---------------------------------------------------------------- dcart_lint
-note "dcart_lint (repo-specific rules DL001..DL006)"
+note "dcart_lint (repo-specific rules DL001..DL007)"
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
 cmake --build "$BUILD" --target dcart_lint -j >/dev/null || exit 1
 if ! "$BUILD"/tools/dcart_lint/dcart_lint --root "$ROOT"; then

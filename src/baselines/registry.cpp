@@ -29,6 +29,10 @@ std::unique_ptr<IndexEngine> MakeEngine(const std::string& name,
     return std::make_unique<resilience::ResilientEngine>(options.resilient,
                                                          options.dcartcp);
   }
+  if (name == "DCART-CP-HA") {
+    return std::make_unique<resilience::ReplicatedEngine>(options.replication,
+                                                          options.dcartcp);
+  }
   if (name == "DCART") {
     return std::make_unique<accel::DcartEngine>(options.dcart,
                                                 options.fpga_model);
@@ -37,8 +41,9 @@ std::unique_ptr<IndexEngine> MakeEngine(const std::string& name,
 }
 
 std::vector<std::string> ListEngines() {
-  return {"ART",     "ART-OLC",  "Heart",       "SMART", "CuART",
-          "DCART-C", "DCART-CP", "DCART-CP-FT", "DCART"};
+  return {"ART",         "ART-OLC", "Heart",    "SMART",       "CuART",
+          "DCART-C",     "DCART-CP", "DCART-CP-FT", "DCART-CP-HA",
+          "DCART"};
 }
 
 }  // namespace dcart

@@ -14,6 +14,8 @@
 //   "DCART-CP" — software CTT on real threads, wall-clock measured
 //   "DCART-CP-FT" — DCART-CP wrapped in the fault-tolerant execution layer
 //                   (write-ahead journal + snapshots + Recover())
+//   "DCART-CP-HA" — DCART-CP-FT primary plus a log-shipped replica with
+//                   chaos-hardened catch-up and Promote() failover
 //   "DCART"    — the FPGA accelerator simulator
 #pragma once
 
@@ -25,6 +27,7 @@
 #include "dcart/config.h"
 #include "dcartc/dcartc.h"
 #include "dcartc/parallel_runtime.h"
+#include "resilience/replication.h"
 #include "resilience/resilient_engine.h"
 #include "simhw/timing_model.h"
 
@@ -42,6 +45,9 @@ struct EngineOptions {
   /// Durability knobs for "DCART-CP-FT" (journal/snapshot dir, cadence).
   /// Default (empty dir) runs without durability.
   resilience::ResilienceOptions resilient;
+  /// Replication knobs for "DCART-CP-HA" (durability home, window, sync
+  /// mode).  Default (empty dir) runs the pair in memory.
+  resilience::ReplicationOptions replication;
 };
 
 /// Instantiate a fresh engine by registered name; nullptr if unknown.

@@ -29,6 +29,12 @@ const char* FaultSiteName(FaultSite site) {
     case FaultSite::kCrashMidBatch: return "crash-mid-batch";
     case FaultSite::kFileShortWrite: return "file-short-write";
     case FaultSite::kFileShortRead: return "file-short-read";
+    case FaultSite::kReplDrop: return "repl-drop";
+    case FaultSite::kReplDelay: return "repl-delay";
+    case FaultSite::kReplReorder: return "repl-reorder";
+    case FaultSite::kReplDuplicate: return "repl-duplicate";
+    case FaultSite::kReplTruncate: return "repl-truncate";
+    case FaultSite::kReplDisconnect: return "repl-disconnect";
     case FaultSite::kNumSites: break;
   }
   return "unknown";

@@ -43,6 +43,14 @@ enum class FaultSite : unsigned {
   // file I/O: SaveTree/LoadTree, SaveWorkload/LoadWorkload.
   kFileShortWrite,
   kFileShortRead,
+  // replication: the primary->replica shipping link (resilience/replication.h).
+  // Each site models one way a real network link mangles a frame in flight.
+  kReplDrop,        // frame vanishes; sender retransmits after a timeout
+  kReplDelay,       // frame held back several pumps before delivery
+  kReplReorder,     // frame overtakes the frames queued before it
+  kReplDuplicate,   // frame delivered twice; receiver must dedupe by sequence
+  kReplTruncate,    // payload cut mid-record; receiver's CRC check rejects it
+  kReplDisconnect,  // link drops; sends fail until the backoff reconnect
   kNumSites
 };
 

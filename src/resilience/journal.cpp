@@ -1,6 +1,7 @@
 #include "resilience/journal.h"
 
 #include <cstring>
+#include <iterator>
 
 #include "common/crc32.h"
 #include "resilience/fault_injector.h"
@@ -22,7 +23,7 @@ void AppendPod(std::vector<std::uint8_t>& buffer, T value) {
 }
 
 template <typename T>
-bool ParsePod(const std::vector<std::uint8_t>& buffer, std::size_t& pos,
+bool ParsePod(std::span<const std::uint8_t> buffer, std::size_t& pos,
               T& value) {
   if (buffer.size() - pos < sizeof value) return false;
   std::memcpy(&value, buffer.data() + pos, sizeof value);
@@ -31,6 +32,61 @@ bool ParsePod(const std::vector<std::uint8_t>& buffer, std::size_t& pos,
 }
 
 }  // namespace
+
+std::uint32_t EncodeRecordPayload(std::uint64_t sequence,
+                                  std::span<const Operation> ops,
+                                  std::vector<std::uint8_t>& payload) {
+  payload.clear();
+  AppendPod(payload, sequence);
+  AppendPod(payload, static_cast<std::uint32_t>(ops.size()));
+  for (const Operation& op : ops) {
+    AppendPod(payload, static_cast<std::uint8_t>(op.type));
+    AppendPod(payload, static_cast<std::uint32_t>(op.key.size()));
+    payload.insert(payload.end(), op.key.begin(), op.key.end());
+    AppendPod(payload, op.value);
+    AppendPod(payload, op.scan_count);
+  }
+  return Crc32(payload.data(), payload.size());
+}
+
+Status DecodeRecordPayload(std::span<const std::uint8_t> payload,
+                           std::uint64_t& sequence,
+                           std::vector<Operation>& out) {
+  std::size_t pos = 0;
+  std::uint32_t op_count = 0;
+  if (!ParsePod(payload, pos, sequence) || !ParsePod(payload, pos, op_count)) {
+    return Status::Error("record payload truncated in header");
+  }
+  std::vector<Operation> ops;
+  ops.reserve(op_count);
+  for (std::uint32_t i = 0; i < op_count; ++i) {
+    std::uint8_t type = 0;
+    std::uint32_t key_len = 0;
+    Operation op;
+    if (!ParsePod(payload, pos, type) || type > 3 ||
+        !ParsePod(payload, pos, key_len) || payload.size() - pos < key_len) {
+      return Status::Error("record payload malformed at op " +
+                           std::to_string(i));
+    }
+    op.type = static_cast<OpType>(type);
+    op.key.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                  payload.begin() + static_cast<std::ptrdiff_t>(pos) +
+                      key_len);
+    pos += key_len;
+    if (!ParsePod(payload, pos, op.value) ||
+        !ParsePod(payload, pos, op.scan_count)) {
+      return Status::Error("record payload truncated at op " +
+                           std::to_string(i));
+    }
+    ops.push_back(std::move(op));
+  }
+  if (pos != payload.size()) {
+    return Status::Error("record payload has trailing bytes");
+  }
+  out.insert(out.end(), std::make_move_iterator(ops.begin()),
+             std::make_move_iterator(ops.end()));
+  return Status::Ok();
+}
 
 OpJournal::~OpJournal() { Close(); }
 
@@ -51,19 +107,9 @@ Status OpJournal::Append(std::span<const Operation> ops) {
   if (file_ == nullptr) return Status::Error("journal is not open");
 
   std::vector<std::uint8_t>& payload = scratch_;
-  payload.clear();
-  AppendPod(payload, sequence_);
-  AppendPod(payload, static_cast<std::uint32_t>(ops.size()));
-  for (const Operation& op : ops) {
-    AppendPod(payload, static_cast<std::uint8_t>(op.type));
-    AppendPod(payload, static_cast<std::uint32_t>(op.key.size()));
-    payload.insert(payload.end(), op.key.begin(), op.key.end());
-    AppendPod(payload, op.value);
-    AppendPod(payload, op.scan_count);
-  }
+  const std::uint32_t crc = EncodeRecordPayload(sequence_, ops, payload);
 
   const auto len = static_cast<std::uint32_t>(payload.size());
-  const std::uint32_t crc = Crc32(payload.data(), payload.size());
   if (std::fwrite(&len, sizeof len, 1, file_) != 1 ||
       std::fwrite(&crc, sizeof crc, 1, file_) != 1) {
     return Status::Error("journal header write failed");
@@ -121,39 +167,12 @@ std::uint64_t ReplayJournal(const std::string& path,
     if (Crc32(payload.data(), payload.size()) != expected_crc) break;
 
     // Decode the payload.  A record that passed its CRC but does not parse
-    // is treated like corruption: stop, dropping this record's partial ops.
-    std::size_t pos = 0;
+    // (or carries the wrong sequence) is treated like corruption: stop,
+    // replaying nothing from it.
     std::uint64_t sequence = 0;
-    std::uint32_t op_count = 0;
-    if (!ParsePod(payload, pos, sequence) ||
-        !ParsePod(payload, pos, op_count) || sequence != records) {
-      break;
-    }
     const std::size_t record_start = out.size();
-    bool record_ok = true;
-    for (std::uint32_t i = 0; i < op_count; ++i) {
-      std::uint8_t type = 0;
-      std::uint32_t key_len = 0;
-      Operation op;
-      if (!ParsePod(payload, pos, type) || type > 3 ||
-          !ParsePod(payload, pos, key_len) ||
-          payload.size() - pos < key_len) {
-        record_ok = false;
-        break;
-      }
-      op.type = static_cast<OpType>(type);
-      op.key.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos),
-                    payload.begin() + static_cast<std::ptrdiff_t>(pos) +
-                        key_len);
-      pos += key_len;
-      if (!ParsePod(payload, pos, op.value) ||
-          !ParsePod(payload, pos, op.scan_count)) {
-        record_ok = false;
-        break;
-      }
-      out.push_back(std::move(op));
-    }
-    if (!record_ok || pos != payload.size()) {
+    const Status decoded = DecodeRecordPayload(payload, sequence, out);
+    if (!decoded.ok() || sequence != records) {
       out.resize(record_start);
       break;
     }

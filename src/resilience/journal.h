@@ -26,6 +26,28 @@
 
 namespace dcart::resilience {
 
+// ------------------------------------------------------ record streaming --
+// The journal's record payload encoding, exposed so the replication layer
+// (resilience/replication.h) can ship *sealed journal records* — the exact
+// bytes the primary made durable, CRC and all — instead of inventing a
+// second wire format.  A record payload is:
+//   u64 sequence, u32 op_count,
+//   per op: u8 type, u32 key_len, key bytes, u64 value, u32 scan_count
+
+/// Serialize (sequence, ops) into `payload` (cleared first) and return the
+/// CRC32 the journal framing would carry for it.
+std::uint32_t EncodeRecordPayload(std::uint64_t sequence,
+                                  std::span<const Operation> ops,
+                                  std::vector<std::uint8_t>& payload);
+
+/// Parse a record payload back into (sequence, ops-appended-to-out).
+/// Rejects malformed payloads (bad op type, lengths that overrun) without
+/// touching `out`; CRC verification is the caller's job — the replica
+/// re-checks the frame CRC against the payload bytes before decoding.
+Status DecodeRecordPayload(std::span<const std::uint8_t> payload,
+                           std::uint64_t& sequence,
+                           std::vector<Operation>& out);
+
 class OpJournal {
  public:
   OpJournal() = default;

@@ -1,0 +1,363 @@
+// High-availability replication: a log-shipped replica of the resilient
+// engine, a chaos-hardened shipping link, and automated failover.
+//
+// The design reuses the durability layer's artifacts as the replication
+// protocol (the ROADMAP's scale-out item; SafarDB in PAPERS.md is the
+// reference point for log-shipped replication next to an accelerator-style
+// engine):
+//
+//   Record shipping  — every batch the primary acknowledges is also a sealed
+//                      journal record (journal.h's record encoding, CRC and
+//                      all); the primary ships that record over a
+//                      ReplicationLink.  One record per acknowledged batch,
+//                      so shipping rides the CTT batch boundaries and never
+//                      touches the per-operation hot path.
+//   Replica replay   — the ReplicaEngine verifies each record's CRC,
+//                      rejects duplicates and gaps by sequence number,
+//                      journals the record to replica-local disk (the same
+//                      snapshot-<G>.tree / journal-<G>.log layout the
+//                      ResilientEngine recovers from) and replays it
+//                      serially, staying byte-identical with the primary.
+//   Catch-up         — on any gap, CRC reject, or truncation the replica
+//                      requests retransmission from its applied floor; a
+//                      replica too far behind (or freshly bootstrapped, or
+//                      diverged) is resynced with a snapshot frame.
+//   Divergence       — tree checksums (CRC32 over the canonical sorted
+//                      stream) are exchanged on probe frames and on
+//                      periodically flagged record acks; a mismatch triggers
+//                      a full snapshot resync.
+//   Failover         — Promote() runs ResilientEngine::Recover() over the
+//                      replica-local state, opens a fresh generation, and
+//                      the promoted engine serves reads and writes; a failed
+//                      recovery reports *why* via last_recover_error() and
+//                      degrades to the live in-memory tree.
+//
+// The link is where the robustness lives: InProcessLink (the in-process
+// transport; a socket transport plugs in behind the same interface) hosts
+// six injectable fault sites — drop, delay, reorder, duplicate,
+// truncate-mid-record, disconnect — and the primary's shipping state
+// machine answers them with sequence-numbered cumulative acks, a bounded
+// in-flight window, retransmit timeouts with exponential backoff, and
+// automatic reconnect.
+//
+// Time is virtual: one Pump() is one tick, so every timeout/backoff path
+// replays deterministically under the seeded fault injector (docs:
+// one tick is nominally one millisecond for the backoff_ms gauge).
+//
+// Thread-safety: like the ResilientEngine it wraps, the whole module is
+// thread-compatible, not thread-safe — Load/Run/Pump/Promote must be called
+// from one thread at a time (the service loop).  All parallelism stays
+// inside the primary's DcartCpEngine::Run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/engine.h"
+#include "resilience/resilient_engine.h"
+
+namespace dcart::resilience {
+
+// ------------------------------------------------------------------ frames --
+
+enum class FrameType : std::uint8_t {
+  kRecord,         // one sealed journal record (payload = record encoding)
+  kSnapshot,       // bootstrap/resync image (payload = record of kWrite ops)
+  kChecksumProbe,  // primary asks for the replica's tree checksum
+  kAck,            // replica -> primary: cumulative applied floor
+  kCatchUpRequest  // replica -> primary: resend records from `sequence`
+};
+
+/// One message on the link, either direction.  `sequence` is the record
+/// sequence for kRecord/kSnapshot, the cumulative applied floor for kAck
+/// (every record below it is replica-durable), and the resend-from point
+/// for kCatchUpRequest.  Payload integrity is end-to-end: the receiver
+/// recomputes CRC32 over `payload` and rejects on mismatch, so a frame
+/// truncated in flight is detected no matter what the transport did.
+struct Frame {
+  FrameType type = FrameType::kRecord;
+  std::uint64_t sequence = 0;
+  std::uint32_t payload_crc = 0;
+  bool want_checksum = false;   // record: ack me with your tree checksum
+  bool has_checksum = false;    // ack: tree_checksum is meaningful
+  std::uint64_t tree_checksum = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// -------------------------------------------------------------------- link --
+
+/// Transport abstraction between a primary and one replica.  The in-process
+/// implementation below is the first transport; a socket transport plugs in
+/// behind the same five calls without touching the shipping state machine.
+class ReplicationLink {
+ public:
+  virtual ~ReplicationLink() = default;
+
+  virtual Status SendToReplica(Frame frame) = 0;
+  virtual bool ReceiveAtReplica(Frame& out) = 0;
+  virtual Status SendToPrimary(Frame frame) = 0;
+  virtual bool ReceiveAtPrimary(Frame& out) = 0;
+
+  /// Advance virtual time one pump; delayed frames come due.
+  virtual void Tick() = 0;
+  virtual std::uint64_t now() const = 0;
+
+  /// A disconnected link refuses sends until Reconnect() (the primary's
+  /// backoff state machine calls it).
+  virtual bool connected() const = 0;
+  virtual void Reconnect() = 0;
+};
+
+/// In-process queue link instrumented with the kRepl* fault sites.  Every
+/// Send is one fault opportunity per site, in a fixed order (disconnect,
+/// drop, truncate, delay, duplicate, reorder), so trigger_at plans place a
+/// fault on exactly the Nth frame and probability plans are reproducible
+/// per seed.
+class InProcessLink : public ReplicationLink {
+ public:
+  Status SendToReplica(Frame frame) override;
+  bool ReceiveAtReplica(Frame& out) override;
+  Status SendToPrimary(Frame frame) override;
+  bool ReceiveAtPrimary(Frame& out) override;
+
+  void Tick() override { ++now_; }
+  std::uint64_t now() const override { return now_; }
+  bool connected() const override { return connected_; }
+  void Reconnect() override { connected_ = true; }
+
+  std::size_t pending_to_replica() const { return forward_.size(); }
+  std::size_t pending_to_primary() const { return reverse_.size(); }
+
+ private:
+  struct Queued {
+    Frame frame;
+    std::uint64_t deliver_at = 0;  // tick the frame becomes receivable
+  };
+
+  Status Enqueue(std::deque<Queued>& queue, Frame frame);
+  bool Dequeue(std::deque<Queued>& queue, Frame& out);
+
+  std::deque<Queued> forward_;  // primary -> replica
+  std::deque<Queued> reverse_;  // replica -> primary
+  bool connected_ = true;
+  std::uint64_t now_ = 0;
+  std::uint64_t delay_ticks_ = 3;  // kReplDelay holds a frame this long
+};
+
+// --------------------------------------------------------------- checksums --
+
+/// CRC32 over the tree's canonical sorted (key, value) stream — the same
+/// order SaveTree serializes, so equal checksums mean byte-identical
+/// SaveTree images.  O(n): exchanged on probes and periodic flagged acks,
+/// never per record.
+std::uint64_t TreeChecksum(const art::Tree& tree);
+
+// ----------------------------------------------------------------- options --
+
+struct ReplicationOptions {
+  /// Durability home for the pair.  Non-empty: the primary journals under
+  /// `<dir>/primary` and the replica under `<dir>/replica` (the layout
+  /// Promote() recovers from).  Empty: both sides run in memory — the link,
+  /// catch-up, and divergence machinery still operate, but promotion can
+  /// only serve the live tree.
+  std::string dir;
+  /// Max unacked records in flight before shipping blocks on the window.
+  std::size_t window = 8;
+  /// Pumps without an ack before a record is retransmitted; doubles per
+  /// attempt up to `backoff_cap_ticks` (1 tick ~ 1 ms for the gauge).
+  std::uint64_t retry_timeout_ticks = 4;
+  std::uint64_t backoff_cap_ticks = 64;
+  /// Every Nth record is flagged want_checksum: its ack carries the
+  /// replica's tree checksum for divergence detection.  0 disables the
+  /// periodic exchange (the end-of-run probe still runs).
+  std::size_t checksum_every_records = 16;
+  /// Livelock safety valve: a Drain() that pumps this many ticks without
+  /// converging gives up with an error instead of spinning forever.
+  std::uint64_t max_drain_ticks = 100000;
+  /// Synchronous mode (default): every batch drains its record to the
+  /// replica before the next begins, so an acknowledged operation is
+  /// durable on BOTH sides — killing the primary at any record boundary
+  /// loses nothing.  Async mode lets the window pipeline across batches
+  /// (replication.replica_lag_records tracks the exposure).
+  bool drain_every_batch = true;
+  /// Forwarded to both sides' generation cadence.
+  std::size_t snapshot_every_batches = 8;
+  std::size_t keep_generations = 2;
+};
+
+// ----------------------------------------------------------------- replica --
+
+/// The receiving half: verifies, journals, and serially replays shipped
+/// records against a replica-local tree, acks cumulatively, and promotes
+/// itself through the ResilientEngine recovery machinery on failover.
+class ReplicaEngine {
+ public:
+  ReplicaEngine(ReplicationOptions options, dcartc::DcartCpConfig runtime);
+  ~ReplicaEngine();
+
+  /// Drain every deliverable frame from the link, apply verified records,
+  /// and send acks/catch-up requests.  Called from the pair's pump loop.
+  void Pump(ReplicationLink& link);
+
+  /// Failover: recover from replica-local durable state (newest snapshot
+  /// generation + journal tail), open a fresh generation, and start
+  /// serving.  On an unrecoverable local state the promoted engine serves
+  /// the live in-memory tree instead and the returned Status says why the
+  /// durable path was rejected (ResilientEngine::last_recover_error()).
+  Status Promote();
+
+  bool promoted() const { return promoted_engine_ != nullptr; }
+  /// The serving engine after a successful Promote().
+  ResilientEngine& promoted_engine() { return *promoted_engine_; }
+
+  std::uint64_t applied_records() const { return next_sequence_; }
+  std::uint64_t applied_ops() const { return applied_ops_; }
+  /// True when a replica-local journal write failed and the replica stopped
+  /// acking (the primary's drain will surface the stall).
+  bool wedged() const { return wedged_; }
+
+  const art::Tree& tree() const;
+  std::optional<art::Value> Lookup(KeyView key) const;
+
+  /// Test hook: mutate the replica tree out-of-band to simulate divergence
+  /// (a cosmic ray, an operator mistake); the checksum exchange must catch
+  /// it and trigger a resync.
+  void CorruptForTest(const Key& key, art::Value value);
+
+ private:
+  bool durable() const { return !options_.dir.empty(); }
+  std::string ReplicaDir() const { return options_.dir + "/replica"; }
+  std::string SnapshotPath(std::uint64_t generation) const;
+  std::string JournalPath(std::uint64_t generation) const;
+
+  void HandleRecord(ReplicationLink& link, const Frame& frame);
+  void HandleSnapshot(ReplicationLink& link, const Frame& frame);
+  void SendAck(ReplicationLink& link, bool with_checksum);
+  void RequestCatchUp(ReplicationLink& link);
+  /// Roll the replica journal into a fresh snapshot generation.
+  Status Checkpoint();
+  /// Wipe replica-local state (bootstrap / resync entry point).
+  void Reset();
+
+  ReplicationOptions options_;
+  dcartc::DcartCpConfig runtime_config_;
+  art::Tree tree_;
+  OpJournal journal_;
+  std::uint64_t generation_ = 0;
+  std::size_t records_since_snapshot_ = 0;
+  std::uint64_t next_sequence_ = 0;  // next record sequence expected
+  std::uint64_t applied_ops_ = 0;
+  bool wedged_ = false;
+  std::unique_ptr<ResilientEngine> promoted_engine_;
+};
+
+// -------------------------------------------------------- replicated engine --
+
+/// "DCART-CP-HA" in the registry: a primary ResilientEngine plus a
+/// log-shipped ReplicaEngine behind one IndexEngine surface.  Run()
+/// executes batches on the primary (journaled locally first — the
+/// acknowledgement rule is unchanged), ships each acknowledged batch's
+/// sealed record, and drains the link per the options' mode.  After
+/// KillPrimary() + Promote(), Run()/Lookup() route to the promoted replica.
+class ReplicatedEngine : public IndexEngine {
+ public:
+  explicit ReplicatedEngine(ReplicationOptions options = {},
+                            dcartc::DcartCpConfig runtime = {});
+  ~ReplicatedEngine() override;
+
+  std::string name() const override { return "DCART-CP-HA"; }
+  void Load(const std::vector<std::pair<Key, art::Value>>& items) override;
+  ExecutionResult Run(std::span<const Operation> ops,
+                      const RunConfig& config) override;
+  std::optional<art::Value> Lookup(KeyView key) const override;
+
+  /// Pump until every in-flight record is acked, then run one checksum
+  /// probe exchange; a mismatch triggers a snapshot resync.  Run() calls
+  /// this at its end; tests call it to assert convergence under faults.
+  Status Drain();
+
+  /// Simulated loss of the primary box: the primary stops serving,
+  /// shipping, and retransmitting.  Run()/Lookup() fail until Promote().
+  void KillPrimary();
+  bool primary_alive() const { return primary_alive_; }
+
+  /// Failover: promote the replica (see ReplicaEngine::Promote) and route
+  /// all subsequent traffic to it.  Also fences the old primary.
+  Status Promote();
+  bool promoted() const { return replica_->promoted(); }
+
+  /// The actively serving tree (primary's before failover, the promoted
+  /// replica's after).
+  const art::Tree& tree() const;
+
+  std::uint64_t records_shipped() const { return next_sequence_; }
+  std::uint64_t acked_records() const { return acked_floor_; }
+  std::uint64_t acked_ops() const { return acked_ops_; }
+
+  ResilientEngine& primary() { return *primary_; }
+  ReplicaEngine& replica() { return *replica_; }
+  ReplicationLink& link() { return *link_; }
+
+ private:
+  bool durable() const { return !options_.dir.empty(); }
+
+  /// Encode `ops` as the next sealed record, enter it into the in-flight
+  /// window (blocking on the window first), and send it.
+  Status ShipRecord(std::span<const Operation> ops);
+  /// One pump: tick, deliver, replica turn, process acks/catch-ups,
+  /// retransmit timeouts, reconnect backoff.
+  void PumpOnce();
+  /// Pump until `done()` or the drain tick budget runs out.
+  template <typename Predicate>
+  Status PumpUntil(Predicate done, const char* what);
+  /// Pump until the in-flight window is empty.
+  Status DrainInflight();
+  /// One checksum probe exchange; on mismatch, snapshot resync + re-probe.
+  Status VerifyChecksum();
+  /// Ship a full snapshot and pump until the replica acks it checksummed.
+  Status SyncSnapshot();
+  Frame BuildSnapshotFrame() const;
+  void HandleAck(const Frame& frame);
+  void HandleCatchUp(const Frame& frame);
+  /// Send with disconnect handling: a failed send leaves the record
+  /// in-flight for the retransmit path; schedules the reconnect backoff.
+  void SendFrame(Frame frame);
+
+  struct InFlight {
+    std::uint64_t sequence = 0;
+    Frame frame;                     // retained verbatim for retransmit
+    std::uint64_t op_count = 0;
+    std::uint64_t last_sent = 0;     // tick of the most recent send
+    std::uint32_t attempts = 0;      // sends so far (drives backoff)
+  };
+
+  ReplicationOptions options_;
+  dcartc::DcartCpConfig runtime_config_;
+  std::unique_ptr<ResilientEngine> primary_;
+  std::unique_ptr<ReplicaEngine> replica_;
+  std::unique_ptr<ReplicationLink> link_;
+
+  std::deque<InFlight> inflight_;
+  std::uint64_t next_sequence_ = 0;  // next record sequence to assign
+  std::uint64_t acked_floor_ = 0;    // records below this are replica-durable
+  std::uint64_t acked_ops_ = 0;      // ops covered by acked records
+  std::uint64_t next_reconnect_ = 0;  // earliest tick to try Reconnect()
+  std::uint64_t reconnect_backoff_ = 0;
+  // Latest comparable replica tree checksum (only stored when the replica's
+  // ack floor equals next_sequence_, i.e. it has applied everything).
+  std::optional<std::uint64_t> replica_checksum_;
+  // Set when a catch-up request falls behind the in-flight window; the
+  // drain loop answers it with a snapshot resync (resyncing from inside the
+  // pump would recurse).
+  bool resync_needed_ = false;
+  // Bootstrap-sync failure parked by Load() (void signature), surfaced by
+  // the next Run().
+  Status load_status_;
+  bool primary_alive_ = true;
+};
+
+}  // namespace dcart::resilience

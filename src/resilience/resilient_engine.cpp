@@ -24,6 +24,8 @@ struct ResilienceMetrics {
   obs::Counter* recoveries = DCART_METRIC_COUNTER("resilience.recoveries");
   obs::Counter* recovered_ops =
       DCART_METRIC_COUNTER("resilience.recovered_ops");
+  obs::Counter* recover_failures =
+      DCART_METRIC_COUNTER("resilience.recover.failures");
 };
 
 ResilienceMetrics& Metrics() {
@@ -228,7 +230,12 @@ std::optional<art::Value> ResilientEngine::Lookup(KeyView key) const {
 }
 
 bool ResilientEngine::Recover() {
-  if (!durable()) return false;
+  if (!durable()) {
+    recover_error_ = Status::Error(
+        "recovery impossible: durability is disabled (empty dir)");
+    Metrics().recover_failures->Increment();
+    return false;
+  }
   recovered_ops_ = 0;
   journal_.Close();
 
@@ -241,10 +248,24 @@ bool ResilientEngine::Recover() {
     if (gen.has_value()) generations.push_back(*gen);
   }
   std::sort(generations.rbegin(), generations.rend());
+  if (generations.empty()) {
+    recover_error_ = Status::Error("no snapshot generation under " +
+                                   options_.dir +
+                                   (ec ? " (directory unreadable)" : ""));
+    Metrics().recover_failures->Increment();
+    return false;
+  }
 
+  Status rejected;  // why each tried generation was unusable, in try order
   for (std::uint64_t gen : generations) {
     art::Tree tree;
-    if (!art::LoadTree(SnapshotPath(gen), tree)) continue;  // corrupt: older
+    if (!art::LoadTree(SnapshotPath(gen), tree)) {
+      // Corrupt or torn snapshot: remember why and fall back a generation.
+      rejected.Update(Status::Error("generation " + std::to_string(gen) +
+                                    " rejected: snapshot unloadable (" +
+                                    SnapshotPath(gen) + ")"));
+      continue;
+    }
     // Replay every journal from this generation forward, in order.  Each
     // journal's CRC framing truncates a torn tail; a missing journal for
     // the snapshot's own generation means no batch was acknowledged after
@@ -274,8 +295,19 @@ bool ResilientEngine::Recover() {
     batches_since_snapshot_ = 0;
     Metrics().recoveries->Increment();
     Metrics().recovered_ops->Add(recovered_ops_);
-    return Checkpoint().ok();
+    recover_error_ = Status::Ok();
+    const Status checkpointed = Checkpoint();
+    if (!checkpointed.ok()) {
+      recover_error_ = checkpointed;
+      Metrics().recover_failures->Increment();
+      return false;
+    }
+    return true;
   }
+  recover_error_ = Status::Error("every snapshot generation under " +
+                                 options_.dir + " is unusable");
+  recover_error_.Update(rejected);
+  Metrics().recover_failures->Increment();
   return false;
 }
 

@@ -73,6 +73,12 @@ class ResilientEngine : public IndexEngine {
   /// Operations restored by the last successful Recover().
   std::uint64_t recovered_ops() const { return recovered_ops_; }
 
+  /// Why the last Recover() failed (or Ok after a successful one): which
+  /// generations were tried and why each was rejected.  Failover promotion
+  /// reports this instead of silently serving an empty tree; each failed
+  /// Recover() also bumps the `resilience.recover.failures` counter.
+  const Status& last_recover_error() const { return recover_error_; }
+
   /// True after a (simulated) crash; Run() refuses work until Recover().
   bool crashed() const { return crashed_; }
 
@@ -97,6 +103,7 @@ class ResilientEngine : public IndexEngine {
   std::size_t batches_since_snapshot_ = 0;
   bool crashed_ = false;
   std::uint64_t recovered_ops_ = 0;
+  Status recover_error_;  // diagnostics from the last Recover() attempt
 };
 
 }  // namespace dcart::resilience

@@ -1,0 +1,7 @@
+#include "resilience/fault_injector.h"
+
+// A transport-private fault taxonomy: exactly what DL007 forbids.
+enum class LinkFault { kDrop, kDelay };
+
+// A site that was never registered in fault_injector.h: it can never fire.
+bool ShipFrame() { return FaultCheck(FaultSite::kReplGhost); }

@@ -1,0 +1,4 @@
+#include "resilience/fault_injector.h"
+
+// Injects through a registered site: DL007 has nothing to say.
+bool ShipFrame() { return FaultCheck(FaultSite::kAlpha); }

@@ -44,6 +44,8 @@ TEST(DcartLint, BadCorpusEveryRuleFiresAtTheExpectedLine) {
       {kFaultSiteRegistry, "src/resilience/fault_injector.h", 4},
       {kFaultSiteRegistry, "src/resilience/fault_injector.h", 5},
       {kFaultSiteRegistry, "src/resilience/fault_injector.h", 6},
+      {kReplicationFaultRegistry, "src/resilience/replication.cpp", 4},
+      {kReplicationFaultRegistry, "src/resilience/replication.cpp", 7},
       {kBareAssert, "src/simhw/model.cpp", 4},
   };
   EXPECT_EQ(Triples(findings), expected) << FormatFindings(findings);
@@ -71,6 +73,14 @@ TEST(DcartLint, BadCorpusMessagesNameTheDefect) {
             std::string::npos);
   EXPECT_NE(message_for("src/resilience/fault_injector.cpp", 0)
                 .find("claimed by 2 enumerators"),
+            std::string::npos);
+  // DL007: a private fault enum and an unregistered site are different
+  // defects with different remedies.
+  EXPECT_NE(message_for("src/resilience/replication.cpp", 4)
+                .find("private fault enum"),
+            std::string::npos);
+  EXPECT_NE(message_for("src/resilience/replication.cpp", 7)
+                .find("kReplGhost is not declared"),
             std::string::npos);
 }
 

@@ -45,7 +45,8 @@ TEST(Registry, OnlyWallclockEnginesReportWallclock) {
     auto engine = MakeEngine(name);
     engine->Load(w.load_items);
     const ExecutionResult r = engine->Run(w.ops, RunConfig{});
-    EXPECT_EQ(r.wallclock, name == "DCART-CP" || name == "DCART-CP-FT");
+    EXPECT_EQ(r.wallclock, name == "DCART-CP" || name == "DCART-CP-FT" ||
+                               name == "DCART-CP-HA");
   }
 }
 

@@ -1,0 +1,335 @@
+// Chaos and failover property tests for the replication layer, the
+// replication extension of the crash-at-every-boundary recovery suite:
+//
+//   Convergence — under every injected link fault (drop, delay, reorder,
+//     duplicate, truncate, disconnect — alone and combined), a run must end
+//     with the replica byte-identical to the primary and every operation
+//     HA-acknowledged.
+//   Zero loss — killing the primary at every record boundary (and tearing
+//     the shipped frame at the same point) and promoting the replica must
+//     serve exactly the serial replay of the HA-acknowledged prefix: no
+//     acknowledged operation lost, no unacknowledged operation invented.
+//
+// Seeds come from DCART_FAULT_SEED (the CI chaos matrix sweeps several).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "art/serialize.h"
+#include "resilience/fault_injector.h"
+#include "resilience/replication.h"
+#include "workload/generators.h"
+
+namespace dcart {
+namespace {
+
+namespace fs = std::filesystem;
+using resilience::FaultInjector;
+using resilience::FaultPlan;
+using resilience::FaultSite;
+using resilience::ReplicatedEngine;
+using resilience::ReplicationOptions;
+
+std::uint64_t EnvSeed() {
+  const char* env = std::getenv("DCART_FAULT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+constexpr std::size_t kBatch = 128;
+
+class ReplicationPropertyTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+
+  std::string FreshDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/replprop_" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+  }
+};
+
+std::vector<std::uint8_t> FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void ExpectTreesByteIdentical(const art::Tree& got, const art::Tree& want,
+                              const std::string& tag) {
+  const std::string got_path = ::testing::TempDir() + "/replprop_got_" + tag;
+  const std::string want_path = ::testing::TempDir() + "/replprop_want_" + tag;
+  ASSERT_TRUE(art::SaveTree(got, got_path));
+  ASSERT_TRUE(art::SaveTree(want, want_path));
+  const auto got_bytes = FileBytes(got_path);
+  const auto want_bytes = FileBytes(want_path);
+  std::remove(got_path.c_str());
+  std::remove(want_path.c_str());
+  ASSERT_FALSE(want_bytes.empty());
+  EXPECT_TRUE(got_bytes == want_bytes)
+      << tag << ": trees differ (" << got_bytes.size() << " vs "
+      << want_bytes.size() << " bytes)";
+}
+
+/// Serial ground truth over a prefix of the op stream.
+art::Tree ReplayPrefix(const Workload& w, std::size_t op_count) {
+  art::Tree tree;
+  for (const auto& [key, value] : w.load_items) tree.Insert(key, value);
+  for (std::size_t i = 0; i < op_count; ++i) {
+    const Operation& op = w.ops[i];
+    switch (op.type) {
+      case OpType::kWrite:
+        tree.Insert(op.key, op.value);
+        break;
+      case OpType::kRemove:
+        tree.Remove(op.key);
+        break;
+      case OpType::kRead:
+      case OpType::kScan:
+        break;
+    }
+  }
+  return tree;
+}
+
+Workload ChaosWorkload(std::size_t num_ops) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.num_ops = num_ops;
+  cfg.write_ratio = 0.4;
+  cfg.remove_ratio = 0.15;
+  return MakeWorkload(WorkloadKind::kRS, cfg);
+}
+
+RunConfig HaRun(const FaultPlan& plan = {}) {
+  RunConfig run;
+  run.batch_size = kBatch;
+  run.cpu.wall_threads = 2;
+  run.faults = plan;
+  return run;
+}
+
+ReplicationOptions AsyncOptions() {
+  ReplicationOptions options;
+  options.drain_every_batch = false;  // pipeline: real reordering pressure
+  options.window = 4;
+  options.checksum_every_records = 4;
+  return options;
+}
+
+struct ChaosSite {
+  FaultSite site;
+  double probability;   // 0 = use trigger_at instead
+  std::uint64_t trigger_at;
+};
+
+// Disconnect fires deterministically (trigger_at) rather than by
+// probability: every firing costs a full backoff/reconnect cycle, so at
+// frame-mangling rates the run spends all its time reconnecting, and at
+// rarer rates short runs may never fire it at all.
+const ChaosSite kChaosSites[] = {
+    {FaultSite::kReplDrop, 0.25, 0},      {FaultSite::kReplDelay, 0.25, 0},
+    {FaultSite::kReplReorder, 0.25, 0},   {FaultSite::kReplDuplicate, 0.25, 0},
+    {FaultSite::kReplTruncate, 0.25, 0},  {FaultSite::kReplDisconnect, 0.0, 3},
+};
+
+TEST_F(ReplicationPropertyTest, EverySingleLinkFaultConverges) {
+  const Workload w = ChaosWorkload(1024);
+  for (const ChaosSite& chaos : kChaosSites) {
+    SCOPED_TRACE(resilience::FaultSiteName(chaos.site));
+    ReplicatedEngine engine(AsyncOptions());
+    engine.Load(w.load_items);
+    FaultPlan plan;
+    plan.seed = EnvSeed();
+    if (chaos.probability > 0.0) {
+      plan.Probability(chaos.site) = chaos.probability;
+    } else {
+      plan.TriggerAt(chaos.site) = chaos.trigger_at;
+    }
+    const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+    FaultInjector::Global().Disarm();
+    ASSERT_TRUE(r.status.ok()) << r.status.message();
+    // Convergence: every op HA-acknowledged, replica byte-identical.
+    EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+    EXPECT_GT(FaultInjector::Global().fires(chaos.site), 0u)
+        << "fault site never fired; the test exercised nothing";
+    ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                             resilience::FaultSiteName(chaos.site));
+  }
+}
+
+TEST_F(ReplicationPropertyTest, AllLinkFaultsTogetherConverge) {
+  const Workload w = ChaosWorkload(1024);
+  ReplicatedEngine engine(AsyncOptions());
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  for (const ChaosSite& chaos : kChaosSites) {
+    // Softer per-site rates: the faults compound on every send.
+    plan.Probability(chaos.site) =
+        chaos.probability > 0.0 ? chaos.probability / 2.0 : 0.03;
+  }
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "combined");
+}
+
+TEST_F(ReplicationPropertyTest, ChaosRunSurvivesFailover) {
+  // A full lifecycle under combined chaos: converge, lose the primary,
+  // promote, and verify the promoted tree equals the serial replay.
+  const Workload w = ChaosWorkload(1024);
+  const std::string dir = FreshDir("lifecycle");
+  ReplicationOptions options = AsyncOptions();
+  options.dir = dir;
+  ReplicatedEngine engine(options);
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  for (const ChaosSite& chaos : kChaosSites) {
+    plan.Probability(chaos.site) =
+        chaos.probability > 0.0 ? chaos.probability / 2.0 : 0.03;
+  }
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  ASSERT_EQ(r.ops_acknowledged, w.ops.size());
+
+  engine.KillPrimary();
+  const Status promoted = engine.Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.message();
+  ExpectTreesByteIdentical(engine.tree(), ReplayPrefix(w, w.ops.size()),
+                           "lifecycle");
+  fs::remove_all(dir);
+}
+
+TEST_F(ReplicationPropertyTest,
+       KillPrimaryAtEveryBoundaryPromotedReplicaHoldsAcknowledgedPrefix) {
+  const Workload w = ChaosWorkload(1024);  // 8 batches of 128
+  const std::size_t batches = (w.ops.size() + kBatch - 1) / kBatch;
+
+  for (std::size_t crash_at = 1; crash_at <= batches; ++crash_at) {
+    SCOPED_TRACE(crash_at);
+    const std::string dir = FreshDir("boundary");
+
+    ReplicationOptions options;
+    options.dir = dir;
+    options.snapshot_every_batches = 3;  // not a divisor of the crash points
+    FaultPlan plan;
+    plan.seed = EnvSeed();
+    plan.TriggerAt(FaultSite::kCrashAtBatchBoundary) = crash_at;
+
+    ReplicatedEngine engine(options);
+    engine.Load(w.load_items);
+    const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+    FaultInjector::Global().Disarm();
+
+    // The primary died at boundary `crash_at`: exactly the prior batches
+    // were shipped and replica-acknowledged (synchronous mode).
+    ASSERT_FALSE(r.status.ok());
+    ASSERT_EQ(r.ops_acknowledged, (crash_at - 1) * kBatch);
+
+    // Failover.  Zero loss: the promoted replica serves exactly the serial
+    // replay of the HA-acknowledged prefix.
+    engine.KillPrimary();
+    const Status promoted = engine.Promote();
+    ASSERT_TRUE(promoted.ok()) << promoted.message();
+    EXPECT_GE(engine.replica().applied_records() * kBatch,
+              r.ops_acknowledged);
+    ExpectTreesByteIdentical(engine.tree(),
+                             ReplayPrefix(w, r.ops_acknowledged), "boundary");
+
+    // The promoted engine resumes the unacknowledged tail and lands on the
+    // full serial replay — the restarted-service path, now on the replica.
+    const ExecutionResult resumed =
+        engine.Run({w.ops.data() + r.ops_acknowledged,
+                    w.ops.size() - r.ops_acknowledged},
+                   HaRun());
+    ASSERT_TRUE(resumed.status.ok()) << resumed.status.message();
+    ExpectTreesByteIdentical(engine.tree(), ReplayPrefix(w, w.ops.size()),
+                             "boundary-resume");
+    fs::remove_all(dir);
+  }
+}
+
+TEST_F(ReplicationPropertyTest,
+       TornFrameAtEveryRecordThenKillLosesNothingAcknowledged) {
+  // Tear the shipped frame at every record position in turn (mid-record
+  // truncation on the link) while also killing the primary one batch later:
+  // the truncated frame is CRC-rejected and retransmitted before its batch
+  // is HA-acknowledged, so the promoted replica still holds every
+  // acknowledged op for every tear point.
+  const Workload w = ChaosWorkload(1024);
+  const std::size_t batches = (w.ops.size() + kBatch - 1) / kBatch;
+
+  for (std::size_t tear_at = 1; tear_at <= batches; ++tear_at) {
+    SCOPED_TRACE(tear_at);
+    const std::string dir = FreshDir("torn");
+
+    ReplicationOptions options;
+    options.dir = dir;
+    FaultPlan plan;
+    plan.seed = EnvSeed();
+    plan.TriggerAt(FaultSite::kReplTruncate) = tear_at;
+    if (tear_at + 1 <= batches) {
+      plan.TriggerAt(FaultSite::kCrashAtBatchBoundary) = tear_at + 1;
+    }
+
+    ReplicatedEngine engine(options);
+    engine.Load(w.load_items);
+    const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+    FaultInjector::Global().Disarm();
+
+    engine.KillPrimary();
+    const Status promoted = engine.Promote();
+    ASSERT_TRUE(promoted.ok()) << promoted.message();
+    ExpectTreesByteIdentical(engine.tree(),
+                             ReplayPrefix(w, r.ops_acknowledged), "torn");
+    fs::remove_all(dir);
+  }
+}
+
+TEST_F(ReplicationPropertyTest,
+       DisconnectAtEveryRecordThenKillLosesNothingAcknowledged) {
+  // Same sweep with the harsher fault: the link tears down completely at
+  // every record position in turn, forcing a backoff/reconnect cycle right
+  // before the primary dies.
+  const Workload w = ChaosWorkload(1024);
+  const std::size_t batches = (w.ops.size() + kBatch - 1) / kBatch;
+
+  for (std::size_t drop_at = 1; drop_at <= batches; ++drop_at) {
+    SCOPED_TRACE(drop_at);
+    const std::string dir = FreshDir("disc");
+
+    ReplicationOptions options;
+    options.dir = dir;
+    FaultPlan plan;
+    plan.seed = EnvSeed();
+    plan.TriggerAt(FaultSite::kReplDisconnect) = drop_at;
+    if (drop_at + 1 <= batches) {
+      plan.TriggerAt(FaultSite::kCrashAtBatchBoundary) = drop_at + 1;
+    }
+
+    ReplicatedEngine engine(options);
+    engine.Load(w.load_items);
+    const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+    FaultInjector::Global().Disarm();
+
+    engine.KillPrimary();
+    const Status promoted = engine.Promote();
+    ASSERT_TRUE(promoted.ok()) << promoted.message();
+    ExpectTreesByteIdentical(engine.tree(),
+                             ReplayPrefix(w, r.ops_acknowledged), "disc");
+    fs::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace dcart

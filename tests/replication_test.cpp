@@ -1,0 +1,356 @@
+// Functional tests for the high-availability replication layer
+// (resilience/replication.h): the in-process link's injectable faults, the
+// primary's retransmit/backoff/catch-up machinery, divergence detection and
+// snapshot resync, failover promotion, and the Recover() failure
+// diagnostics promotion reports.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "art/serialize.h"
+#include "obs/metrics.h"
+#include "resilience/fault_injector.h"
+#include "resilience/replication.h"
+#include "resilience/resilient_engine.h"
+#include "workload/generators.h"
+
+namespace dcart {
+namespace {
+
+namespace fs = std::filesystem;
+using resilience::FaultInjector;
+using resilience::FaultPlan;
+using resilience::FaultSite;
+using resilience::ReplicatedEngine;
+using resilience::ReplicationOptions;
+using resilience::ResilienceOptions;
+using resilience::ResilientEngine;
+
+std::uint64_t EnvSeed() {
+  const char* env = std::getenv("DCART_FAULT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+constexpr std::size_t kBatch = 128;
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+
+  std::string FreshDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/repl_" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+  }
+};
+
+std::vector<std::uint8_t> FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void ExpectTreesByteIdentical(const art::Tree& got, const art::Tree& want,
+                              const std::string& tag) {
+  const std::string got_path = ::testing::TempDir() + "/repl_got_" + tag;
+  const std::string want_path = ::testing::TempDir() + "/repl_want_" + tag;
+  ASSERT_TRUE(art::SaveTree(got, got_path));
+  ASSERT_TRUE(art::SaveTree(want, want_path));
+  const auto got_bytes = FileBytes(got_path);
+  const auto want_bytes = FileBytes(want_path);
+  std::remove(got_path.c_str());
+  std::remove(want_path.c_str());
+  ASSERT_FALSE(want_bytes.empty());
+  EXPECT_TRUE(got_bytes == want_bytes)
+      << tag << ": replica tree differs from primary ("
+      << got_bytes.size() << " vs " << want_bytes.size() << " bytes)";
+}
+
+Workload ReplicationWorkload(std::size_t num_ops) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.num_ops = num_ops;
+  cfg.write_ratio = 0.4;
+  cfg.remove_ratio = 0.15;
+  return MakeWorkload(WorkloadKind::kRS, cfg);
+}
+
+RunConfig HaRun(const FaultPlan& plan = {}) {
+  RunConfig run;
+  run.batch_size = kBatch;
+  run.cpu.wall_threads = 2;
+  run.faults = plan;
+  return run;
+}
+
+std::uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+TEST_F(ReplicationTest, CleanDurablePairConvergesByteIdentical) {
+  const Workload w = ReplicationWorkload(1024);
+  const std::string dir = FreshDir("clean");
+
+  ReplicationOptions options;
+  options.dir = dir;
+  options.snapshot_every_batches = 3;
+  ReplicatedEngine engine(options);
+  engine.Load(w.load_items);
+  const ExecutionResult r = engine.Run(w.ops, HaRun());
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  // HA acknowledgement means replica-durable: all of it made it across.
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  EXPECT_EQ(engine.records_shipped(), engine.acked_records());
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "clean");
+  fs::remove_all(dir);
+}
+
+TEST_F(ReplicationTest, InMemoryPairConverges) {
+  const Workload w = ReplicationWorkload(512);
+  ReplicatedEngine engine;  // empty dir: link + replay without disks
+  engine.Load(w.load_items);
+  const ExecutionResult r = engine.Run(w.ops, HaRun());
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "mem");
+}
+
+TEST_F(ReplicationTest, DroppedFrameIsRetransmitted) {
+  const Workload w = ReplicationWorkload(512);
+  const std::uint64_t retries_before = CounterValue("replication.retries");
+
+  ReplicatedEngine engine;
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  plan.TriggerAt(FaultSite::kReplDrop) = 1;  // the very first record vanishes
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  EXPECT_GT(CounterValue("replication.retries"), retries_before);
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "drop");
+}
+
+TEST_F(ReplicationTest, DuplicateDeliveryIsAppliedExactlyOnce) {
+  const Workload w = ReplicationWorkload(512);
+  ReplicatedEngine engine;
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  plan.Probability(FaultSite::kReplDuplicate) = 0.5;
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  // Sequence-number dedupe: duplicates are re-acked, never re-applied.
+  EXPECT_EQ(engine.replica().applied_records(), engine.records_shipped());
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "dup");
+}
+
+TEST_F(ReplicationTest, TruncatedFrameIsRejectedByCrcAndResent) {
+  const Workload w = ReplicationWorkload(512);
+  const std::uint64_t rejects_before = CounterValue("replication.crc_rejects");
+
+  ReplicatedEngine engine;
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  plan.TriggerAt(FaultSite::kReplTruncate) = 1;
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  EXPECT_GT(CounterValue("replication.crc_rejects"), rejects_before);
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "trunc");
+}
+
+TEST_F(ReplicationTest, DisconnectBacksOffAndReconnects) {
+  const Workload w = ReplicationWorkload(512);
+  const std::uint64_t reconnects_before =
+      CounterValue("replication.reconnects");
+
+  ReplicatedEngine engine;
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  plan.TriggerAt(FaultSite::kReplDisconnect) = 2;
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  EXPECT_GT(CounterValue("replication.reconnects"), reconnects_before);
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "disc");
+}
+
+TEST_F(ReplicationTest, ReorderedWindowConvergesThroughCatchUp) {
+  const Workload w = ReplicationWorkload(1024);
+  ReplicatedEngine engine([] {
+    ReplicationOptions o;
+    o.drain_every_batch = false;  // async: several records genuinely in flight
+    o.window = 8;
+    return o;
+  }());
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  plan.Probability(FaultSite::kReplReorder) = 0.5;
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "reorder");
+}
+
+TEST_F(ReplicationTest, DivergenceIsDetectedAndResynced) {
+  const Workload w = ReplicationWorkload(512);
+  const std::uint64_t diverged_before =
+      CounterValue("replication.divergence_detected");
+
+  ReplicatedEngine engine;
+  engine.Load(w.load_items);
+  ASSERT_TRUE(engine.Run(w.ops, HaRun()).status.ok());
+
+  // A rogue out-of-band write on the replica (simulated bit rot / operator
+  // mistake): the next checksum exchange must catch it and resync.
+  engine.replica().CorruptForTest(Key{0xde, 0xad, 0xbe, 0xef}, 42);
+  const Status drained = engine.Drain();
+  ASSERT_TRUE(drained.ok()) << drained.message();
+  EXPECT_GT(CounterValue("replication.divergence_detected"), diverged_before);
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "diverge");
+}
+
+TEST_F(ReplicationTest, KillPrimaryThenPromoteServesReplicaState) {
+  const Workload w = ReplicationWorkload(1024);
+  const std::string dir = FreshDir("failover");
+
+  ReplicationOptions options;
+  options.dir = dir;
+  ReplicatedEngine engine(options);
+  engine.Load(w.load_items);
+  ASSERT_TRUE(engine.Run(w.ops, HaRun()).status.ok());
+
+  engine.KillPrimary();
+  EXPECT_FALSE(engine.Run(w.ops, HaRun()).status.ok());  // fenced
+  EXPECT_EQ(engine.Lookup(w.load_items.front().first), std::nullopt);
+
+  const Status promoted = engine.Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.message();
+  ASSERT_TRUE(engine.promoted());
+
+  // The promoted replica serves exactly the replicated state...
+  art::Tree want;
+  for (const auto& [key, value] : w.load_items) want.Insert(key, value);
+  for (const Operation& op : w.ops) {
+    if (op.type == OpType::kWrite) want.Insert(op.key, op.value);
+    if (op.type == OpType::kRemove) want.Remove(op.key);
+  }
+  ExpectTreesByteIdentical(engine.tree(), want, "promoted");
+
+  // ...and accepts new work through the same IndexEngine surface.
+  const ExecutionResult after = engine.Run(w.ops, HaRun());
+  EXPECT_TRUE(after.status.ok()) << after.status.message();
+  fs::remove_all(dir);
+}
+
+TEST_F(ReplicationTest, PromoteWithoutDurabilityServesLiveTree) {
+  const Workload w = ReplicationWorkload(256);
+  ReplicatedEngine engine;  // in-memory pair
+  engine.Load(w.load_items);
+  ASSERT_TRUE(engine.Run(w.ops, HaRun()).status.ok());
+  engine.KillPrimary();
+  const Status promoted = engine.Promote();
+  EXPECT_TRUE(promoted.ok()) << promoted.message();
+  EXPECT_TRUE(engine.promoted());
+  // Without disks the promoted engine serves the live replica tree, which
+  // converged with the (fenced) primary before the kill.
+  ExpectTreesByteIdentical(engine.tree(), engine.primary().tree(), "mempromo");
+}
+
+// --- Recover() failure diagnostics (surfaced by failover promotion) --------
+
+TEST_F(ReplicationTest, RecoverWithoutDurabilityExplainsWhy) {
+  const std::uint64_t failures_before =
+      CounterValue("resilience.recover.failures");
+  ResilientEngine ephemeral;
+  EXPECT_FALSE(ephemeral.Recover());
+  EXPECT_FALSE(ephemeral.last_recover_error().ok());
+  EXPECT_NE(ephemeral.last_recover_error().message().find(
+                "durability is disabled"),
+            std::string::npos)
+      << ephemeral.last_recover_error().message();
+  EXPECT_GT(CounterValue("resilience.recover.failures"), failures_before);
+}
+
+TEST_F(ReplicationTest, RecoverFromEmptyDirNamesTheDirectory) {
+  ResilienceOptions options;
+  options.dir = FreshDir("empty");
+  ResilientEngine engine(options);
+  EXPECT_FALSE(engine.Recover());
+  const std::string& message = engine.last_recover_error().message();
+  EXPECT_NE(message.find("no snapshot generation"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find(options.dir), std::string::npos) << message;
+  fs::remove_all(options.dir);
+}
+
+TEST_F(ReplicationTest, RecoverNamesEveryRejectedGeneration) {
+  const Workload w = ReplicationWorkload(512);
+  ResilienceOptions options;
+  options.dir = FreshDir("rejected");
+  options.snapshot_every_batches = 2;
+  {
+    ResilientEngine engine(options);
+    engine.Load(w.load_items);
+    ASSERT_TRUE(engine.Run(w.ops, HaRun()).status.ok());
+  }
+  // Truncate every snapshot: recovery must try each generation, reject it
+  // with a reason naming it, and report the full audit trail.
+  for (const auto& entry : fs::directory_iterator(options.dir)) {
+    if (entry.path().filename().string().starts_with("snapshot-")) {
+      fs::resize_file(entry.path(), 4);
+    }
+  }
+  ResilientEngine restarted(options);
+  EXPECT_FALSE(restarted.Recover());
+  const std::string& message = restarted.last_recover_error().message();
+  EXPECT_NE(message.find("is unusable"), std::string::npos) << message;
+  EXPECT_NE(message.find("rejected: snapshot unloadable"), std::string::npos)
+      << message;
+  // A successful recovery clears the diagnostic.
+  fs::remove_all(options.dir);
+}
+
+TEST_F(ReplicationTest, SuccessfulRecoverClearsDiagnostic) {
+  const Workload w = ReplicationWorkload(256);
+  ResilienceOptions options;
+  options.dir = FreshDir("clears");
+  {
+    ResilientEngine engine(options);
+    engine.Load(w.load_items);
+    ASSERT_TRUE(engine.Run(w.ops, HaRun()).status.ok());
+  }
+  ResilientEngine restarted(options);
+  EXPECT_FALSE(restarted.last_recover_error().ok() &&
+               !restarted.last_recover_error().message().empty());
+  ASSERT_TRUE(restarted.Recover());
+  EXPECT_TRUE(restarted.last_recover_error().ok());
+  fs::remove_all(options.dir);
+}
+
+TEST_F(ReplicationTest, RegistryBuildsHaEngine) {
+  // Constructed through the registry like every other engine (the registry
+  // test sweeps all names; this pins the HA-specific surface).
+  ReplicatedEngine engine;
+  EXPECT_EQ(engine.name(), "DCART-CP-HA");
+}
+
+}  // namespace
+}  // namespace dcart

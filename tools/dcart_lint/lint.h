@@ -1,13 +1,14 @@
 // dcart_lint: repo-specific static checks that generic tools cannot express.
 //
-// clang-tidy and -Werror=thread-safety catch generic bug patterns; the six
-// rules here encode *DCART's own* contracts — the fault-site registry, the
-// version-lock relaxed-atomics discipline, the lock-free trigger phase, the
-// no-bare-assert policy in release-reachable code, the bounds-checked
-// file-I/O helpers, and the no-registry-lookups-in-trigger-hot-paths
-// metrics discipline.  Each rule is documented with its rationale in
-// docs/ANALYSIS.md; the rule ids (DL001..DL006) are stable and referenced
-// by tests and suppression comments.
+// clang-tidy and -Werror=thread-safety catch generic bug patterns; the
+// seven rules here encode *DCART's own* contracts — the fault-site
+// registry, the version-lock relaxed-atomics discipline, the lock-free
+// trigger phase, the no-bare-assert policy in release-reachable code, the
+// bounds-checked file-I/O helpers, the
+// no-registry-lookups-in-trigger-hot-paths metrics discipline, and the
+// replication-faults-through-the-registry rule.  Each rule is documented
+// with its rationale in docs/ANALYSIS.md; the rule ids (DL001..DL007) are
+// stable and referenced by tests and suppression comments.
 //
 // The checker is deliberately textual (per-line regex over a preprocessed
 // view with comments stripped): the contracts it enforces are lexical
@@ -24,7 +25,7 @@
 namespace dcart::lint {
 
 struct Finding {
-  std::string rule;     // "DL001".."DL006"
+  std::string rule;     // "DL001".."DL007"
   std::string file;     // path relative to the lint root, '/'-separated
   std::size_t line;     // 1-based; 0 for whole-file findings
   std::string message;  // human-readable explanation
@@ -39,6 +40,7 @@ inline constexpr char kTriggerPhaseBlockingLock[] = "DL003";
 inline constexpr char kBareAssert[] = "DL004";
 inline constexpr char kRawIoOutsideHelper[] = "DL005";
 inline constexpr char kTriggerPhaseRegistryMetrics[] = "DL006";
+inline constexpr char kReplicationFaultRegistry[] = "DL007";
 
 /// Run every rule over the repository rooted at `root` (the directory that
 /// contains `src/`).  Findings are sorted by (file, line, rule) so output
