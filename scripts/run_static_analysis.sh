@@ -21,10 +21,15 @@ FAILED=0
 note() { printf '\n== %s\n' "$*"; }
 
 # ---------------------------------------------------------------- dcart_lint
-note "dcart_lint (repo-specific rules DL001..DL007)"
+note "dcart_lint (repo-specific rules DL000..DL011)"
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
 cmake --build "$BUILD" --target dcart_lint -j >/dev/null || exit 1
-if ! "$BUILD"/tools/dcart_lint/dcart_lint --root "$ROOT"; then
+# SARIF lands next to the build so editors/CI can pick the findings up;
+# `dcart_lint --fix` repairs the mechanical ones (manifest stubs, legacy
+# suppression verbs).
+if ! "$BUILD"/tools/dcart_lint/dcart_lint --root "$ROOT" \
+     --sarif "$BUILD/dcart_lint.sarif"; then
+  echo "findings exported to $BUILD/dcart_lint.sarif"
   FAILED=1
 fi
 

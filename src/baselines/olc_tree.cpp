@@ -119,7 +119,7 @@ OlcTree::WriteOutcome OlcTree::TryInsert(KeyView key, art::Value value,
       size_.fetch_add(1, std::memory_order_relaxed);
       return WriteOutcome::kInserted;
     }
-    delete leaf;
+    delete leaf;  // dcart-lint: disable(DL011) CAS lost; node was never published, no reader can hold it
     ++stats.lock_contentions;
     return WriteOutcome::kRestart;
   }
@@ -149,7 +149,7 @@ OlcTree::WriteOutcome OlcTree::TryInsert(KeyView key, art::Value value,
       size_.fetch_add(1, std::memory_order_relaxed);
       return WriteOutcome::kInserted;
     }
-    delete new_leaf;
+    delete new_leaf;  // dcart-lint: disable(DL011) CAS lost; node was never published, no reader can hold it
     CDeleteNode(branch);
     ++stats.lock_contentions;
     return WriteOutcome::kRestart;

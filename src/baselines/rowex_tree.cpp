@@ -377,7 +377,7 @@ RowexTree::Outcome RowexTree::TryInsert(KeyView key, art::Value value,
       size_.fetch_add(1, std::memory_order_relaxed);
       return Outcome::kInserted;
     }
-    delete leaf;
+    delete leaf;  // dcart-lint: disable(DL011) CAS lost; node was never published, no reader can hold it
     ++stats.lock_contentions;
     return Outcome::kRestart;
   }
@@ -404,7 +404,7 @@ RowexTree::Outcome RowexTree::TryInsert(KeyView key, art::Value value,
       size_.fetch_add(1, std::memory_order_relaxed);
       return Outcome::kInserted;
     }
-    delete new_leaf;
+    delete new_leaf;  // dcart-lint: disable(DL011) CAS lost; node was never published, no reader can hold it
     RDeleteNode(branch);
     ++stats.lock_contentions;
     return Outcome::kRestart;

@@ -1,0 +1,4 @@
+// 'art' may depend on 'sync' but not on 'dcart': this include breaks the DAG.
+#include "dcart/sou.h"
+
+void WarmTrigger() { Trigger(); }

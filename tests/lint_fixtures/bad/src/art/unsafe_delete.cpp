@@ -1,0 +1,7 @@
+#include "sync/epoch.h"
+
+struct Node { Node* child; };
+
+void Remove(Node* n) {
+  delete n;
+}

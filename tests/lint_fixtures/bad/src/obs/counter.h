@@ -1,0 +1,7 @@
+#pragma once
+
+#include <atomic>
+
+inline void Bump(std::atomic<unsigned>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}

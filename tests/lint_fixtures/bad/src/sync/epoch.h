@@ -1,0 +1,11 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+// Miniature stand-in for the real epoch-based reclamation manager; its
+// presence puts every file that includes it in DL011's scope.
+class EpochManager {
+ public:
+  void Retire(std::size_t tid, std::function<void()> deleter);
+};

@@ -1,0 +1,7 @@
+#include "sync/locked.h"
+
+// The declaration in locked.h does not carry this REQUIRES: the contract
+// exists only here, where clang's thread-safety analysis never reads it.
+int WorkQueue::Drain() REQUIRES(mu_) {
+  return 0;
+}

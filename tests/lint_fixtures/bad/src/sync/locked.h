@@ -1,0 +1,14 @@
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+class WorkQueue {
+ public:
+  void Push(int v) REQUIRES(queue_mu_);
+  int Drain() EXCLUDES(mu_);
+
+ private:
+  std::mutex mu_;
+  std::vector<int> items_ GUARDED_BY(pending_mu_);
+};

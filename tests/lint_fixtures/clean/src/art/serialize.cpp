@@ -14,7 +14,7 @@ bool WriteBytes(std::FILE* f, const void* data, unsigned long n) {
 }  // namespace
 
 bool LoadBlob(std::FILE* f, void* data, unsigned long n) {
-  assert(n > 0);  // debug-only sanity check  // dcart-lint: allow(DL004)
+  assert(n > 0);  // dcart-lint: disable(DL004) debug-only sanity check; the caller validates n against the parsed header
   return ReadBytes(f, data, n);
 }
 

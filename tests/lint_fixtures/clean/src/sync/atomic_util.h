@@ -2,8 +2,9 @@
 
 #include <atomic>
 
-// Allowlisted home of the relaxed-atomic helpers: DL002 permits
-// RelaxedLoad/RelaxedStore here and in the version-lock discipline files.
+// The relaxed-atomic helpers.  Every non-seq_cst site in this corpus —
+// including these definitions — is listed in the DL009 atomics manifest
+// (tools/dcart_lint/atomics_manifest.txt) with a reviewed rationale.
 template <typename T>
 T RelaxedLoad(const std::atomic<T>& value) {
   return value.load(std::memory_order_relaxed);

@@ -1,0 +1,10 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+// Miniature stand-in for the real epoch-based reclamation manager.
+class EpochManager {
+ public:
+  void Retire(std::size_t tid, std::function<void()> deleter);
+};

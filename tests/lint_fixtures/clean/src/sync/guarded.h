@@ -1,0 +1,16 @@
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+// Decl-side lock contracts: REQUIRES/EXCLUDES/GUARDED_BY all name the mutex
+// member mu_, so DL010 can prove every contract is enforceable.
+class TaskQueue {
+ public:
+  void Push(int v) REQUIRES(mu_);
+  int Size() EXCLUDES(mu_);
+
+ private:
+  std::mutex mu_;
+  std::vector<int> items_ GUARDED_BY(mu_);
+};

@@ -1,9 +1,11 @@
 // Tests for the dcart_lint rule engine (tools/dcart_lint).
 //
-// Two fixture corpora under tests/lint_fixtures/ act as miniature repos:
+// Two fixture corpora under tests/lint_fixtures/ act as miniature repos,
+// each with its own tools/dcart_lint/{layers.conf,atomics_manifest.txt}:
 //   bad/   — one known violation per rule at a known line
-//   clean/ — compliant counterparts (allowlisted uses, helper-wrapped I/O,
-//            a suppressed assert) that must produce zero findings
+//   clean/ — compliant counterparts (manifested atomics, helper-wrapped
+//            I/O, reasoned suppressions, a legal layering DAG) that must
+//            produce zero findings
 // plus the real source tree, which the CI static-analysis job requires to
 // be clean and which this test pins so a violation fails locally too.
 #include <gtest/gtest.h>
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "lint.h"
+#include "sarif.h"
 
 namespace dcart::lint {
 namespace {
@@ -27,18 +30,22 @@ std::vector<Triple> Triples(const std::vector<Finding>& findings) {
   return out;
 }
 
+const char* kManifestRel = "tools/dcart_lint/atomics_manifest.txt";
+
 TEST(DcartLint, BadCorpusEveryRuleFiresAtTheExpectedLine) {
   const auto findings =
       RunLint(std::string(DCART_LINT_FIXTURE_ROOT) + "/bad");
   const std::vector<Triple> expected = {
+      {kLayering, "src/art/layer_breaker.cpp", 2},
       {kBareAssert, "src/art/serialize.cpp", 5},
       {kRawIoOutsideHelper, "src/art/serialize.cpp", 6},
+      {kEpochDiscipline, "src/art/unsafe_delete.cpp", 6},
       {kTriggerPhaseBlockingLock, "src/dcart/sou.cpp", 1},
       {kTriggerPhaseBlockingLock, "src/dcart/sou.cpp", 4},
       {kTriggerPhaseBlockingLock, "src/dcart/sou.cpp", 8},
       {kTriggerPhaseRegistryMetrics, "src/dcartc/parallel_runtime.cpp", 4},
       {kTriggerPhaseRegistryMetrics, "src/dcartc/parallel_runtime.cpp", 5},
-      {kRelaxedAtomicScope, "src/dcartc/relaxed_misuse.cpp", 4},
+      {kAtomicsManifest, "src/dcartc/relaxed_misuse.cpp", 4},
       {kFaultSiteRegistry, "src/resilience/fault_cli.cpp", 0},
       {kFaultSiteRegistry, "src/resilience/fault_injector.cpp", 0},
       {kFaultSiteRegistry, "src/resilience/fault_injector.h", 4},
@@ -47,6 +54,14 @@ TEST(DcartLint, BadCorpusEveryRuleFiresAtTheExpectedLine) {
       {kReplicationFaultRegistry, "src/resilience/replication.cpp", 4},
       {kReplicationFaultRegistry, "src/resilience/replication.cpp", 7},
       {kBareAssert, "src/simhw/model.cpp", 4},
+      {kLockContract, "src/sync/locked.cpp", 5},
+      {kLockContract, "src/sync/locked.h", 8},
+      {kLockContract, "src/sync/locked.h", 13},
+      {kSuppressionHygiene, "src/workload/suppressions.cpp", 4},
+      {kSuppressionHygiene, "src/workload/suppressions.cpp", 5},
+      {kSuppressionHygiene, "src/workload/suppressions.cpp", 6},
+      {kAtomicsManifest, kManifestRel, 3},
+      {kAtomicsManifest, kManifestRel, 4},
   };
   EXPECT_EQ(Triples(findings), expected) << FormatFindings(findings);
 }
@@ -82,6 +97,53 @@ TEST(DcartLint, BadCorpusMessagesNameTheDefect) {
   EXPECT_NE(message_for("src/resilience/replication.cpp", 7)
                 .find("kReplGhost is not declared"),
             std::string::npos);
+  // DL008 names the offending layer edge.
+  EXPECT_NE(message_for("src/art/layer_breaker.cpp", 2)
+                .find("pulls layer 'dcart'"),
+            std::string::npos);
+  // DL009: an unmanifested site tells the reviewer the exact line to add;
+  // the manifest-side findings distinguish placeholder from stale.
+  EXPECT_NE(message_for("src/dcartc/relaxed_misuse.cpp", 4)
+                .find("not in the atomics manifest"),
+            std::string::npos);
+  EXPECT_NE(message_for(kManifestRel, 3).find("placeholder rationale"),
+            std::string::npos);
+  EXPECT_NE(message_for(kManifestRel, 4).find("stale manifest entry"),
+            std::string::npos);
+  // DL010: a def-only annotation points back at the declaration clang reads.
+  EXPECT_NE(message_for("src/sync/locked.cpp", 5)
+                .find("src/sync/locked.h"),
+            std::string::npos);
+  EXPECT_NE(message_for("src/sync/locked.h", 8)
+                .find("does not name a mutex member"),
+            std::string::npos);
+  // DL011 names the sanctioned alternative.
+  EXPECT_NE(message_for("src/art/unsafe_delete.cpp", 6)
+                .find("EpochManager::Retire"),
+            std::string::npos);
+  // DL000: legacy verb, missing reason, unknown rule id.
+  EXPECT_NE(message_for("src/workload/suppressions.cpp", 4)
+                .find("legacy suppression"),
+            std::string::npos);
+  EXPECT_NE(message_for("src/workload/suppressions.cpp", 5)
+                .find("without a reason"),
+            std::string::npos);
+  EXPECT_NE(message_for("src/workload/suppressions.cpp", 6)
+                .find("unknown rule id 'BOGUS'"),
+            std::string::npos);
+}
+
+TEST(DcartLint, AtomicSitesCarryTheEnclosingSymbol) {
+  const RepoModel model =
+      LoadRepo(std::string(DCART_LINT_FIXTURE_ROOT) + "/bad");
+  const auto sites = CollectAtomicSites(model);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].file, "src/dcartc/relaxed_misuse.cpp");
+  EXPECT_EQ(sites[0].symbol, "Peek");
+  EXPECT_EQ(sites[0].ordering, "relaxed");
+  EXPECT_EQ(sites[1].file, "src/obs/counter.h");
+  EXPECT_EQ(sites[1].symbol, "Bump");
+  EXPECT_EQ(sites[1].ordering, "relaxed");
 }
 
 TEST(DcartLint, CleanCorpusHasZeroFalsePositives) {
@@ -91,10 +153,12 @@ TEST(DcartLint, CleanCorpusHasZeroFalsePositives) {
 }
 
 // The clean corpus exercises every would-be false positive on purpose:
-// allowlisted RelaxedLoad/RelaxedStore, fread/fwrite inside the
+// manifested RelaxedLoad/RelaxedStore, fread/fwrite inside the
 // ReadBytes/WriteBytes helpers, a static_assert, a registry-derived CLI,
-// and a `// dcart-lint: allow(DL004)` suppression.  This test documents
-// that inventory so a rule change that breaks one of them fails loudly.
+// reasoned `disable(...)` suppressions, a legal layering DAG, annotations
+// that name a real mutex member, and sanctioned deletes (a *Delete*
+// teardown helper and a Retire(...) lambda).  This test documents that
+// inventory so a rule change that breaks one of them fails loudly.
 TEST(DcartLint, SuppressionCommentIsHonored) {
   const auto findings =
       RunLint(std::string(DCART_LINT_FIXTURE_ROOT) + "/clean");
@@ -102,6 +166,31 @@ TEST(DcartLint, SuppressionCommentIsHonored) {
     EXPECT_NE(f.rule, kBareAssert)
         << "suppressed assert still reported: " << FormatFindings({f});
   }
+}
+
+TEST(DcartLint, SarifOutputCarriesRulesAndLocations) {
+  const auto findings =
+      RunLint(std::string(DCART_LINT_FIXTURE_ROOT) + "/bad");
+  const std::string sarif = ToSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"dcart_lint\""), std::string::npos);
+  // Every fired rule is declared in tool.driver.rules.
+  for (const char* rule : {"DL000", "DL008", "DL009", "DL010", "DL011"}) {
+    EXPECT_NE(sarif.find(std::string("{\"id\": \"") + rule + "\""),
+              std::string::npos)
+        << rule;
+    EXPECT_NE(sarif.find(std::string("\"ruleId\": \"") + rule + "\""),
+              std::string::npos)
+        << rule;
+  }
+  // The layering finding is anchored to its include line...
+  EXPECT_NE(sarif.find("\"uri\": \"src/art/layer_breaker.cpp\""),
+            std::string::npos);
+  // ...and whole-file findings (line 0) are pinned to line 1 for SARIF.
+  const std::string cli_result = "\"uri\": \"src/resilience/fault_cli.cpp\"";
+  const std::size_t at = sarif.find(cli_result);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1", at), std::string::npos);
 }
 
 TEST(DcartLint, RealSourceTreeIsClean) {

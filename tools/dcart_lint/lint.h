@@ -1,31 +1,43 @@
 // dcart_lint: repo-specific static checks that generic tools cannot express.
 //
 // clang-tidy and -Werror=thread-safety catch generic bug patterns; the
-// seven rules here encode *DCART's own* contracts — the fault-site
-// registry, the version-lock relaxed-atomics discipline, the lock-free
-// trigger phase, the no-bare-assert policy in release-reachable code, the
-// bounds-checked file-I/O helpers, the
-// no-registry-lookups-in-trigger-hot-paths metrics discipline, and the
-// replication-faults-through-the-registry rule.  Each rule is documented
-// with its rationale in docs/ANALYSIS.md; the rule ids (DL001..DL007) are
-// stable and referenced by tests and suppression comments.
+// rules here encode *DCART's own* contracts.  The per-line legacy rules
+// (DL001, DL003..DL007) pattern-match a comment-stripped view of each file;
+// the cross-file rules (DL008..DL011) run over the repo model built by
+// model.h/model.cpp — an include graph, a symbol index, and per-file token
+// streams — so they can reason about edges between files and about which
+// function owns a given line:
 //
-// The checker is deliberately textual (per-line regex over a preprocessed
-// view with comments stripped): the contracts it enforces are lexical
-// ("this token must not appear in this file"), so a full AST would add a
-// clang dependency without adding precision.  A finding on line N can be
-// suppressed with a trailing `// dcart-lint: allow(DLxxx)` comment — which
-// is itself greppable, so every suppression is auditable.
+//   DL000  suppression hygiene (a suppression without a reason is an error)
+//   DL001  fault-site registry completeness
+//   DL003  no blocking locks in trigger-phase hot paths
+//   DL004  no bare assert in release-reachable runtime code
+//   DL005  raw file I/O only inside the bounds-checked helpers
+//   DL006  no metrics-registry lookups in trigger-phase hot paths
+//   DL007  replication faults go through the FaultSite registry
+//   DL008  include-graph layering (tools/dcart_lint/layers.conf)
+//   DL009  atomics manifest (tools/dcart_lint/atomics_manifest.txt)
+//   DL010  lock-contract consistency (thread-safety annotations)
+//   DL011  epoch discipline (no direct delete outside the retire path)
+//
+// DL002 (relaxed-atomics file allowlist) was retired: the atomics manifest
+// subsumes it with per-site granularity and an explicit reviewed rationale.
+//
+// A finding on line N can be suppressed with a trailing
+// `// dcart-lint: disable(DLxxx) <reason>` comment; the reason is
+// mandatory (DL000 fires otherwise), so every suppression is auditable.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "model.h"
+
 namespace dcart::lint {
 
 struct Finding {
-  std::string rule;     // "DL001".."DL007"
+  std::string rule;     // "DL000".."DL011"
   std::string file;     // path relative to the lint root, '/'-separated
   std::size_t line;     // 1-based; 0 for whole-file findings
   std::string message;  // human-readable explanation
@@ -34,22 +46,55 @@ struct Finding {
 };
 
 // Rule ids.
+inline constexpr char kSuppressionHygiene[] = "DL000";
 inline constexpr char kFaultSiteRegistry[] = "DL001";
-inline constexpr char kRelaxedAtomicScope[] = "DL002";
 inline constexpr char kTriggerPhaseBlockingLock[] = "DL003";
 inline constexpr char kBareAssert[] = "DL004";
 inline constexpr char kRawIoOutsideHelper[] = "DL005";
 inline constexpr char kTriggerPhaseRegistryMetrics[] = "DL006";
 inline constexpr char kReplicationFaultRegistry[] = "DL007";
+inline constexpr char kLayering[] = "DL008";
+inline constexpr char kAtomicsManifest[] = "DL009";
+inline constexpr char kLockContract[] = "DL010";
+inline constexpr char kEpochDiscipline[] = "DL011";
 
 /// Run every rule over the repository rooted at `root` (the directory that
 /// contains `src/`).  Findings are sorted by (file, line, rule) so output
-/// and tests are deterministic.  Missing scope files are skipped silently:
-/// the fixture corpora are miniature repos that only carry the files a rule
-/// needs.
+/// and tests are deterministic.  Missing scope files and missing config
+/// files are skipped silently: the fixture corpora are miniature repos that
+/// only carry the files a rule needs.
 std::vector<Finding> RunLint(const std::string& root);
+
+/// Same, over an already-loaded model (lets callers reuse the model).
+std::vector<Finding> RunLint(const RepoModel& model);
 
 /// One finding per line: "<file>:<line>: [<rule>] <message>".
 std::string FormatFindings(const std::vector<Finding>& findings);
+
+// ------------------------------------------------------------------ DL009
+/// One non-seq_cst atomic operation found in the tree.
+struct AtomicSite {
+  std::string file;      // repo-relative path
+  std::size_t line;      // 1-based
+  std::string symbol;    // enclosing function/class, "<file-scope>" if none
+  std::string ordering;  // relaxed | acquire | release | acq_rel | consume
+};
+
+/// All non-seq_cst atomic sites in the model, sorted by (file, line).
+/// Exposed for `--fix` (manifest stub generation) and the unit tests.
+std::vector<AtomicSite> CollectAtomicSites(const RepoModel& model);
+
+// ------------------------------------------------------------------ --fix
+struct FixResult {
+  std::size_t manifest_stubs_added = 0;   // lines appended to the manifest
+  std::size_t suppressions_migrated = 0;  // allow(..) rewritten to disable(..)
+  std::vector<std::string> notes;         // human-readable edit log
+};
+
+/// Mechanical fixes: append manifest stub lines (with a TODO rationale) for
+/// unmanifested atomic sites, and migrate legacy suppressions from the
+/// `allow` verb to the `disable` verb in place (any trailing text is kept
+/// as the reason).  Non-mechanical findings are never touched.
+FixResult ApplyFixes(const std::string& root);
 
 }  // namespace dcart::lint

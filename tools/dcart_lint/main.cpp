@@ -1,30 +1,59 @@
 // dcart_lint CLI: run the repo-specific rules and fail on any finding.
 //
-//   dcart_lint [--root <dir>]
+//   dcart_lint [--root <dir>] [--sarif <file>] [--fix]
 //
-// Exit status: 0 = clean, 1 = findings, 2 = usage error.  CI runs this as
-// part of the required static-analysis job; run it locally via
-// scripts/run_static_analysis.sh or directly from the build tree.
+// Exit status: 0 = clean, 1 = findings, 2 = usage error.  `--sarif <file>`
+// additionally writes the findings as a SARIF 2.1.0 log (for inline CI
+// annotations); `--fix` applies the mechanical repairs (manifest stubs,
+// suppression-syntax migration) and then reports what is still left.  CI
+// runs this as part of the required static-analysis job; run it locally
+// via scripts/run_static_analysis.sh or directly from the build tree.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "lint.h"
+#include "sarif.h"
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string sarif_path;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
+    } else if (std::strcmp(argv[i], "--sarif") == 0 && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fix") == 0) {
+      fix = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: dcart_lint [--root <dir>]\n");
+      std::printf("usage: dcart_lint [--root <dir>] [--sarif <file>] [--fix]\n");
       return 0;
     } else {
       std::fprintf(stderr, "dcart_lint: unknown argument '%s'\n", argv[i]);
       return 2;
     }
   }
+  if (fix) {
+    const auto result = dcart::lint::ApplyFixes(root);
+    for (const std::string& note : result.notes) {
+      std::printf("dcart_lint: fix: %s\n", note.c_str());
+    }
+    if (result.notes.empty()) {
+      std::printf("dcart_lint: fix: nothing to do\n");
+    }
+  }
   const auto findings = dcart::lint::RunLint(root);
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::fprintf(stderr, "dcart_lint: cannot write '%s'\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << dcart::lint::ToSarif(findings);
+  }
   if (findings.empty()) {
     std::printf("dcart_lint: clean (%s)\n", root.c_str());
     return 0;

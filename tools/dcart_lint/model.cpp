@@ -1,0 +1,1056 @@
+#include "model.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <tuple>
+
+namespace dcart::lint {
+
+namespace fs = std::filesystem;
+
+std::string FunctionSym::Display() const {
+  if (class_path.empty() || name.find("::") != std::string::npos) return name;
+  return class_path + "::" + name;
+}
+
+// =======================================================================
+// Symbol scanner
+// =======================================================================
+namespace {
+
+const std::set<std::string> kAnnotationMacros = {
+    "GUARDED_BY",        "PT_GUARDED_BY",
+    "REQUIRES",          "REQUIRES_SHARED",
+    "EXCLUDES",          "ACQUIRE",
+    "ACQUIRE_SHARED",    "RELEASE",
+    "RELEASE_SHARED",    "RELEASE_GENERIC",
+    "TRY_ACQUIRE",       "TRY_ACQUIRE_SHARED",
+    "ASSERT_CAPABILITY", "ASSERT_SHARED_CAPABILITY",
+    "ACQUIRED_BEFORE",   "ACQUIRED_AFTER",
+    "RETURN_CAPABILITY",
+};
+
+const std::set<std::string> kNotFunctionNames = {
+    "if",     "for",     "while",  "switch",   "return", "sizeof",
+    "alignof", "alignas", "decltype", "catch",  "new",    "delete",
+    "noexcept", "static_assert", "throw", "case", "do", "else",
+};
+
+const std::set<std::string> kCapabilityTypes = {
+    "Mutex", "VersionLock", "mutex", "shared_mutex", "recursive_mutex",
+    "timed_mutex", "shared_timed_mutex",
+};
+
+bool IsMacroHead(const std::string& s) {
+  if (s.empty() || !(std::isupper(static_cast<unsigned char>(s[0])))) {
+    return false;
+  }
+  for (char c : s) {
+    if (!(std::isupper(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Scanner {
+ public:
+  Scanner(SourceFile& file) : file_(file), t_(file.toks.tokens) {}
+
+  void Run() {
+    ScanDeclSeq(/*in_class=*/false);
+  }
+
+ private:
+  SourceFile& file_;
+  const std::vector<Token>& t_;
+  std::size_t i_ = 0;
+  std::vector<std::string> class_stack_;
+
+  bool AtEnd() const { return i_ >= t_.size(); }
+  const std::string& Text(std::size_t off = 0) const {
+    static const std::string empty;
+    return i_ + off < t_.size() ? t_[i_ + off].text : empty;
+  }
+  bool IsIdent(std::size_t off = 0) const {
+    return i_ + off < t_.size() &&
+           t_[i_ + off].kind == Token::Kind::kIdent;
+  }
+  std::size_t Line() const {
+    return AtEnd() ? (t_.empty() ? 1 : t_.back().line) : t_[i_].line;
+  }
+
+  std::string ClassPath() const {
+    std::string out;
+    for (const std::string& c : class_stack_) {
+      if (!out.empty()) out += "::";
+      out += c;
+    }
+    return out;
+  }
+
+  /// Skip a balanced (open, close) group; cursor on the opener.  Returns the
+  /// line of the closer.
+  std::size_t SkipBalanced(const char* open, const char* close) {
+    std::size_t last_line = Line();
+    int depth = 0;
+    while (!AtEnd()) {
+      last_line = Line();
+      if (Text() == open) {
+        ++depth;
+      } else if (Text() == close) {
+        --depth;
+        if (depth == 0) {
+          ++i_;
+          return last_line;
+        }
+      }
+      ++i_;
+    }
+    return last_line;
+  }
+
+  /// Skip a template argument/parameter list starting at '<'.  Heuristic:
+  /// '>' closes, '>>' closes two.  Parens/braces inside are skipped whole.
+  void SkipAngles() {
+    int depth = 0;
+    while (!AtEnd()) {
+      const std::string& s = Text();
+      if (s == "<") {
+        ++depth;
+        ++i_;
+      } else if (s == ">") {
+        --depth;
+        ++i_;
+        if (depth <= 0) return;
+      } else if (s == "(") {
+        SkipBalanced("(", ")");
+      } else if (s == "{") {
+        SkipBalanced("{", "}");
+      } else if (s == ";") {
+        return;  // malformed; bail rather than overrun
+      } else {
+        ++i_;
+      }
+    }
+  }
+
+  void SkipToSemicolon() {
+    while (!AtEnd()) {
+      const std::string& s = Text();
+      if (s == ";") {
+        ++i_;
+        return;
+      }
+      if (s == "(") {
+        SkipBalanced("(", ")");
+      } else if (s == "{") {
+        SkipBalanced("{", "}");
+      } else if (s == "}") {
+        return;  // stop at an enclosing scope's close
+      } else {
+        ++i_;
+      }
+    }
+  }
+
+  /// Collect a (possibly qualified) name ending at stmt.back(); returns ""
+  /// when the trailing tokens do not look like a callable name.
+  static std::string ExtractName(const std::vector<Token>& t,
+                                 const std::vector<std::size_t>& stmt) {
+    if (stmt.empty()) return "";
+    std::size_t k = stmt.size();
+    if (t[stmt[k - 1]].kind != Token::Kind::kIdent) return "";
+    std::string name = t[stmt[k - 1]].text;
+    if (kNotFunctionNames.count(name)) return "";
+    --k;
+    // Leading ~ (destructor) or qualifier chain `A::B::name`.
+    while (k > 0) {
+      const Token& prev = t[stmt[k - 1]];
+      if (prev.text == "~") {
+        name = "~" + name;
+        --k;
+        continue;
+      }
+      if (prev.text == "::" && k >= 2 &&
+          t[stmt[k - 2]].kind == Token::Kind::kIdent) {
+        name = t[stmt[k - 2]].text + "::" + name;
+        k -= 2;
+        continue;
+      }
+      break;
+    }
+    return name;
+  }
+
+  /// Parse the annotation macro's argument list; cursor on the macro name.
+  Annotation ParseAnnotation() {
+    Annotation a;
+    a.macro = Text();
+    a.line = Line();
+    ++i_;
+    if (Text() != "(") return a;
+    int depth = 0;
+    std::string arg;
+    while (!AtEnd()) {
+      const std::string& s = Text();
+      if (s == "(") {
+        ++depth;
+        if (depth > 1) arg += s;
+      } else if (s == ")") {
+        --depth;
+        if (depth == 0) {
+          ++i_;
+          break;
+        }
+        arg += s;
+      } else {
+        if (!arg.empty() && arg.back() != ':' && arg.back() != '>' &&
+            arg.back() != '-' && s != "::" && s != "->" && s != "." &&
+            arg.back() != '.') {
+          arg += ' ';
+        }
+        arg += s;
+      }
+      ++i_;
+    }
+    // Normalize whitespace-only differences.
+    while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+    while (!arg.empty() && arg.back() == ' ') arg.pop_back();
+    a.arg = arg;
+    return a;
+  }
+
+  /// Constructor initializer list: `: member(init), member{init}, ... {`.
+  /// Cursor is on ':'.  Returns true if a '{' body follows (cursor on it).
+  bool SkipInitList() {
+    ++i_;  // past ':'
+    while (!AtEnd()) {
+      // member name (possibly qualified/templated base class)
+      while (!AtEnd() && (IsIdent() || Text() == "::")) ++i_;
+      if (Text() == "<") SkipAngles();
+      if (Text() == "(") {
+        SkipBalanced("(", ")");
+      } else if (Text() == "{") {
+        // Could be a brace-initializer OR the body (empty init list entry is
+        // malformed anyway).  A body is preceded by ')' or '}' of an
+        // initializer, which is the `,` check below — here '{' directly
+        // after a name is an initializer.
+        SkipBalanced("{", "}");
+      } else {
+        return Text() == "{";
+      }
+      if (Text() == ",") {
+        ++i_;
+        continue;
+      }
+      return Text() == "{";
+    }
+    return false;
+  }
+
+  /// Called with cursor on '(' and the pending statement tokens in `stmt`.
+  /// Decides function-or-not, records the symbol, and consumes through the
+  /// body or the terminating ';'.
+  void HandleParen(std::vector<std::size_t>& stmt) {
+    const std::string name = ExtractName(t_, stmt);
+    const std::size_t sig_line = Line();
+    if (name.empty()) {
+      SkipBalanced("(", ")");
+      return;  // expression-ish; statement continues
+    }
+    // Parameter list: arity = top-level commas + 1 (0 when empty).  The
+    // parameter text is kept so all-caps macro heads (TEST, TYPED_TEST,
+    // REGISTER_*) can use `NAME(args)` as a stable display symbol — every
+    // gtest body would otherwise be attributed to a function named "TEST".
+    std::size_t arity = 0;
+    std::string param_text;
+    {
+      int pdepth = 0, adepth = 0;
+      bool any = false;
+      std::size_t commas = 0;
+      while (!AtEnd()) {
+        const std::string& s = Text();
+        if (s == "(") {
+          if (pdepth >= 1) param_text += s;
+          ++pdepth;
+        } else if (s == ")") {
+          --pdepth;
+          if (pdepth == 0) {
+            ++i_;
+            break;
+          }
+          param_text += s;
+        } else if (pdepth >= 1) {
+          if (pdepth == 1) {
+            if (s == "<") ++adepth;
+            else if (s == ">") adepth = adepth > 0 ? adepth - 1 : 0;
+            else if (s == "," && adepth == 0) ++commas;
+            else any = true;
+          }
+          if (s == ",") {
+            param_text += ", ";
+          } else {
+            if (!param_text.empty() && param_text.back() != ' ' &&
+                param_text.back() != '(' && s != "::" &&
+                (param_text.size() < 2 ||
+                 param_text.compare(param_text.size() - 2, 2, "::") != 0)) {
+              param_text += ' ';
+            }
+            param_text += s;
+          }
+        }
+        ++i_;
+      }
+      arity = any || commas > 0 ? commas + 1 : 0;
+    }
+
+    FunctionSym fn;
+    fn.name = IsMacroHead(name) ? name + "(" + param_text + ")" : name;
+    fn.class_path = ClassPath();
+    fn.arity = arity;
+    fn.line = sig_line;
+
+    // Trailer: cv-qualifiers, annotations, trailing return, init list.
+    while (!AtEnd()) {
+      const std::string& s = Text();
+      if (s == "{") {
+        fn.is_definition = true;
+        fn.body_begin_line = Line();
+        fn.body_end_line = SkipBalanced("{", "}");
+        file_.functions.push_back(std::move(fn));
+        stmt.clear();
+        return;
+      }
+      if (s == ";") {
+        ++i_;
+        file_.functions.push_back(std::move(fn));
+        stmt.clear();
+        return;
+      }
+      if (s == "}") {  // enclosing scope closes: malformed, bail
+        stmt.clear();
+        return;
+      }
+      if (s == "=") {
+        // `= default` / `= delete` / `= 0`  → declaration-like;
+        // anything else → this was a variable initialization.
+        SkipToSemicolon();
+        file_.functions.push_back(std::move(fn));
+        stmt.clear();
+        return;
+      }
+      if (s == ":") {
+        if (SkipInitList() && Text() == "{") continue;  // body next
+        stmt.clear();
+        return;
+      }
+      if (s == "<") {
+        SkipAngles();
+        continue;
+      }
+      if (s == "[") {
+        SkipBalanced("[", "]");
+        continue;
+      }
+      if (IsIdent()) {
+        if (kAnnotationMacros.count(s) && Text(1) == "(") {
+          fn.annotations.push_back(ParseAnnotation());
+          continue;
+        }
+        if (s == "NO_THREAD_SAFETY_ANALYSIS") {
+          fn.annotations.push_back({s, "", Line()});
+          ++i_;
+          continue;
+        }
+        if (Text(1) == "(") {
+          ++i_;
+          SkipBalanced("(", ")");  // noexcept(...), macro(...), __attribute__
+          continue;
+        }
+        ++i_;
+        continue;
+      }
+      ++i_;  // ->, *, &, etc.
+    }
+    stmt.clear();
+  }
+
+  /// Class-scope statement that ended in ';' without becoming a function:
+  /// record annotated members and capability-typed members.
+  void AnalyzeMemberStmt(const std::vector<std::size_t>& stmt) {
+    if (stmt.empty()) return;
+    // Locate annotations inside the statement.
+    std::vector<Annotation> annotations;
+    std::size_t first_annotation = stmt.size();
+    for (std::size_t k = 0; k + 1 < stmt.size(); ++k) {
+      const Token& tok = t_[stmt[k]];
+      if (tok.kind == Token::Kind::kIdent &&
+          kAnnotationMacros.count(tok.text) &&
+          t_[stmt[k + 1]].text == "(") {
+        if (first_annotation == stmt.size()) first_annotation = k;
+        // Re-parse the argument by scanning the statement slice.
+        Annotation a;
+        a.macro = tok.text;
+        a.line = tok.line;
+        int depth = 0;
+        std::string arg;
+        for (std::size_t m = k + 1; m < stmt.size(); ++m) {
+          const std::string& s = t_[stmt[m]].text;
+          if (s == "(") {
+            ++depth;
+            if (depth > 1) arg += s;
+          } else if (s == ")") {
+            --depth;
+            if (depth == 0) break;
+            arg += s;
+          } else if (depth >= 1) {
+            if (!arg.empty() && arg.back() != ':' && arg.back() != '-' &&
+                arg.back() != '.' && s != "::" && s != "->" && s != ".") {
+              arg += ' ';
+            }
+            arg += s;
+          }
+        }
+        a.arg = arg;
+        annotations.push_back(std::move(a));
+      }
+    }
+    // Member name: last identifier before the first annotation / '=' / '{'.
+    std::size_t name_limit = first_annotation;
+    for (std::size_t k = 0; k < name_limit; ++k) {
+      const std::string& s = t_[stmt[k]].text;
+      if (s == "=" || s == "{") {
+        name_limit = k;
+        break;
+      }
+    }
+    std::string member_name;
+    std::size_t member_line = t_[stmt[0]].line;
+    for (std::size_t k = name_limit; k-- > 0;) {
+      if (t_[stmt[k]].kind == Token::Kind::kIdent &&
+          !kAnnotationMacros.count(t_[stmt[k]].text)) {
+        member_name = t_[stmt[k]].text;
+        member_line = t_[stmt[k]].line;
+        break;
+      }
+      if (t_[stmt[k]].text == "]" || t_[stmt[k]].text == ">") {
+        // array extent / template args between name and annotation
+        int d = 0;
+        const std::string open = t_[stmt[k]].text == "]" ? "[" : "<";
+        const std::string close = t_[stmt[k]].text;
+        while (k-- > 0) {
+          if (t_[stmt[k]].text == close) ++d;
+          if (t_[stmt[k]].text == open && d-- == 0) break;
+        }
+        ++k;  // compensate the loop decrement
+      }
+    }
+    if (member_name.empty()) return;
+    // Capability type? Look at tokens before the member name.
+    bool capability = false;
+    std::string type_text;
+    for (std::size_t k = 0; k < name_limit; ++k) {
+      const Token& tok = t_[stmt[k]];
+      if (tok.text == member_name && tok.line == member_line) break;
+      if (tok.kind == Token::Kind::kIdent &&
+          kCapabilityTypes.count(tok.text)) {
+        capability = true;
+      }
+      if (!type_text.empty() && tok.text != "::" &&
+          (type_text.size() < 2 ||
+           type_text.compare(type_text.size() - 2, 2, "::") != 0)) {
+        type_text += ' ';
+      }
+      type_text += tok.text;
+    }
+    if (!capability && annotations.empty()) return;
+    MemberSym m;
+    m.class_path = ClassPath();
+    m.name = member_name;
+    m.type_text = type_text;
+    m.line = member_line;
+    m.is_capability = capability;
+    m.annotations = std::move(annotations);
+    file_.members.push_back(std::move(m));
+  }
+
+  /// Declaration sequence at namespace/class/file scope, until the matching
+  /// '}' (left for the caller) or end of tokens.
+  void ScanDeclSeq(bool in_class) {
+    std::vector<std::size_t> stmt;
+    while (!AtEnd()) {
+      const std::string& s = Text();
+      if (s == "}") return;
+      if (s == "namespace") {
+        ++i_;
+        while (!AtEnd() && (IsIdent() || Text() == "::")) ++i_;
+        if (Text() == "{") {
+          ++i_;
+          ScanDeclSeq(/*in_class=*/false);
+          if (Text() == "}") ++i_;
+        } else {
+          SkipToSemicolon();  // namespace alias
+        }
+        stmt.clear();
+        continue;
+      }
+      if (s == "class" || s == "struct" || s == "union") {
+        HandleClass(in_class, stmt);
+        continue;
+      }
+      if (s == "enum") {
+        ++i_;
+        while (!AtEnd() && Text() != "{" && Text() != ";") ++i_;
+        if (Text() == "{") SkipBalanced("{", "}");
+        SkipToSemicolon();
+        stmt.clear();
+        continue;
+      }
+      if (s == "template") {
+        ++i_;
+        if (Text() == "<") SkipAngles();
+        continue;  // the templated entity follows; keep stmt
+      }
+      if (s == "using" || s == "typedef" || s == "static_assert" ||
+          s == "friend") {
+        SkipToSemicolon();
+        stmt.clear();
+        continue;
+      }
+      if (in_class &&
+          (s == "public" || s == "private" || s == "protected") &&
+          Text(1) == ":") {
+        i_ += 2;
+        stmt.clear();
+        continue;
+      }
+      if (s == "extern" && Text(1) == "\"\"") {
+        i_ += 2;
+        if (Text() == "{") {
+          ++i_;
+          ScanDeclSeq(/*in_class=*/false);
+          if (Text() == "}") ++i_;
+          stmt.clear();
+          continue;
+        }
+        continue;
+      }
+      if (s == "(") {
+        // An annotation macro in member position (`int x_ GUARDED_BY(mu_);`)
+        // is part of the member statement, not a macro-head function: keep
+        // its tokens so AnalyzeMemberStmt sees the annotation.
+        if (in_class && stmt.size() >= 2 &&
+            t_[stmt.back()].kind == Token::Kind::kIdent &&
+            kAnnotationMacros.count(t_[stmt.back()].text)) {
+          int depth = 0;
+          while (!AtEnd()) {
+            const bool closes = Text() == ")" && depth == 1;
+            if (Text() == "(") ++depth;
+            if (Text() == ")") --depth;
+            stmt.push_back(i_);
+            ++i_;
+            if (closes) break;
+          }
+          continue;
+        }
+        HandleParen(stmt);
+        continue;
+      }
+      if (s == "{") {
+        // Brace with no preceding function pattern (aggregate initializer,
+        // macro-expanded block): skip it whole.
+        SkipBalanced("{", "}");
+        stmt.clear();
+        continue;
+      }
+      if (s == ";") {
+        if (in_class) AnalyzeMemberStmt(stmt);
+        stmt.clear();
+        ++i_;
+        continue;
+      }
+      stmt.push_back(i_);
+      ++i_;
+    }
+  }
+
+  void HandleClass(bool in_class, std::vector<std::size_t>& stmt) {
+    ++i_;  // past class/struct/union
+    std::string name = "<anon>";
+    while (!AtEnd()) {
+      const std::string& s = Text();
+      if (IsIdent()) {
+        if (s == "final") {
+          ++i_;
+          continue;
+        }
+        if (Text(1) == "(") {
+          // alignas(..)/CAPABILITY(..)/macro(..): not the class name.
+          ++i_;
+          SkipBalanced("(", ")");
+          continue;
+        }
+        name = s;
+        ++i_;
+        continue;
+      }
+      if (s == "<") {  // explicit specialization id
+        SkipAngles();
+        continue;
+      }
+      if (s == "[") {
+        SkipBalanced("[", "]");
+        continue;
+      }
+      if (s == ":") {  // base clause: skip to the body brace
+        while (!AtEnd() && Text() != "{" && Text() != ";") {
+          if (Text() == "<") {
+            SkipAngles();
+          } else if (Text() == "(") {
+            SkipBalanced("(", ")");
+          } else {
+            ++i_;
+          }
+        }
+        continue;
+      }
+      break;  // '{', ';', or something unexpected
+    }
+    if (Text() == "{") {
+      ClassSym cls;
+      class_stack_.push_back(name);
+      cls.path = ClassPath();
+      cls.body_begin_line = Line();
+      ++i_;
+      ScanDeclSeq(/*in_class=*/true);
+      cls.body_end_line = Line();
+      if (Text() == "}") ++i_;
+      class_stack_.pop_back();
+      file_.classes.push_back(std::move(cls));
+      SkipToSemicolon();  // `};` or `} var;`
+    } else {
+      SkipToSemicolon();  // forward declaration
+    }
+    (void)in_class;
+    stmt.clear();
+  }
+};
+
+// =======================================================================
+// File loading
+// =======================================================================
+
+std::vector<std::string> StripCommentsKeepStrings(
+    const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    bool in_string = false;
+    char quote = '\0';
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      if (in_string) {
+        code[i] = line[i];
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          code[i + 1] = line[i + 1];
+          ++i;
+        } else if (line[i] == quote) {
+          in_string = false;
+        }
+        continue;
+      }
+      if (line[i] == '"' || line[i] == '\'') {
+        in_string = true;
+        quote = line[i];
+        code[i] = line[i];
+        continue;
+      }
+      if (line[i] == '/' && i + 1 < line.size()) {
+        if (line[i + 1] == '/') break;  // rest of line is a comment
+        if (line[i + 1] == '*') {
+          in_block = true;
+          ++i;
+          continue;
+        }
+      }
+      code[i] = line[i];
+    }
+    // Unterminated string (e.g. inside a raw string literal spanning lines):
+    // the per-line model cannot carry the state; leave the line as emitted.
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool ReadLines(const fs::path& path, std::vector<std::string>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    out.push_back(line);
+  }
+  return true;
+}
+
+std::string NormalizePath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (cur == "..") {
+        if (!parts.empty()) parts.pop_back();
+      } else if (!cur.empty() && cur != ".") {
+        parts.push_back(cur);
+      }
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (cur == "..") {
+    if (!parts.empty()) parts.pop_back();
+  } else if (!cur.empty() && cur != ".") {
+    parts.push_back(cur);
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::string DirName(const std::string& rel) {
+  const std::size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+LayerConfig LoadLayers(const std::string& root) {
+  LayerConfig cfg;
+  std::vector<std::string> lines;
+  if (!ReadLines(fs::path(root) / kLayersConfRel, lines)) return cfg;
+  cfg.loaded = true;
+  std::map<std::string, int> by_name;
+  std::vector<std::vector<std::string>> declared_deps;  // parallel to names
+  std::vector<std::size_t> dep_lines;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    std::string line = lines[li];
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    std::string kw;
+    in >> kw;
+    if (kw == "layer") {
+      std::string name;
+      in >> name;
+      if (name.empty()) {
+        cfg.errors.push_back({li + 1, "layer directive without a name"});
+        continue;
+      }
+      if (by_name.count(name)) {
+        cfg.errors.push_back({li + 1, "layer '" + name + "' declared twice"});
+        continue;
+      }
+      const int idx = static_cast<int>(cfg.names.size());
+      by_name[name] = idx;
+      cfg.names.push_back(name);
+      declared_deps.emplace_back();
+      dep_lines.push_back(0);
+      std::string prefix;
+      bool any = false;
+      while (in >> prefix) {
+        cfg.prefixes.emplace_back(prefix, idx);
+        any = true;
+      }
+      if (!any) {
+        cfg.errors.push_back(
+            {li + 1, "layer '" + name + "' has no path prefixes"});
+      }
+    } else if (kw == "allow") {
+      std::string name, arrow;
+      in >> name >> arrow;
+      auto it = by_name.find(name);
+      if (it == by_name.end()) {
+        cfg.errors.push_back(
+            {li + 1, "allow for undeclared layer '" + name + "'"});
+        continue;
+      }
+      if (arrow != "->") {
+        cfg.errors.push_back(
+            {li + 1, "allow syntax is: allow <layer> -> [deps...]"});
+        continue;
+      }
+      std::string dep;
+      while (in >> dep) declared_deps[it->second].push_back(dep);
+      dep_lines[it->second] = li + 1;
+    } else {
+      cfg.errors.push_back({li + 1, "unknown directive '" + kw + "'"});
+    }
+  }
+  // Resolve deps, then the reflexive-transitive closure.
+  const std::size_t n = cfg.names.size();
+  std::vector<std::set<int>> direct(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    for (const std::string& dep : declared_deps[l]) {
+      auto it = by_name.find(dep);
+      if (it == by_name.end()) {
+        cfg.errors.push_back(
+            {dep_lines[l], "layer '" + cfg.names[l] +
+                               "' allows undeclared layer '" + dep + "'"});
+        continue;
+      }
+      direct[l].insert(it->second);
+    }
+  }
+  cfg.allowed.assign(n, {});
+  for (std::size_t l = 0; l < n; ++l) {
+    // DFS with an explicit on-path set for cycle detection.
+    std::set<int>& closure = cfg.allowed[l];
+    std::vector<int> stack = {static_cast<int>(l)};
+    closure.insert(static_cast<int>(l));
+    while (!stack.empty()) {
+      const int cur = stack.back();
+      stack.pop_back();
+      for (int d : direct[cur]) {
+        if (closure.insert(d).second) stack.push_back(d);
+      }
+    }
+  }
+  // A layer DAG must be acyclic: mutual reachability between distinct
+  // layers means the "which layer is lower" question has no answer.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (int b : cfg.allowed[a]) {
+      if (static_cast<std::size_t>(b) != a &&
+          cfg.allowed[b].count(static_cast<int>(a))) {
+        if (a < static_cast<std::size_t>(b)) {
+          cfg.errors.push_back(
+              {0, "layer cycle: '" + cfg.names[a] + "' and '" +
+                      cfg.names[b] + "' allow each other (transitively)"});
+        }
+      }
+    }
+  }
+  return cfg;
+}
+
+int LayerConfigLayerOf(const LayerConfig& cfg, const std::string& rel) {
+  int best = -1;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, idx] : cfg.prefixes) {
+    if (rel.size() >= prefix.size() &&
+        rel.compare(0, prefix.size(), prefix) == 0 &&
+        prefix.size() >= best_len) {
+      best = idx;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+AtomicsManifest LoadManifest(const std::string& root) {
+  AtomicsManifest m;
+  std::vector<std::string> lines;
+  if (!ReadLines(fs::path(root) / kAtomicsManifestRel, lines)) return m;
+  m.loaded = true;
+  static const std::set<std::string> orders = {"relaxed", "acquire",
+                                               "release", "acq_rel",
+                                               "consume"};
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string line = Trim(lines[li]);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t bar = line.find('|', start);
+      if (bar == std::string::npos) {
+        fields.push_back(Trim(line.substr(start)));
+        break;
+      }
+      fields.push_back(Trim(line.substr(start, bar - start)));
+      start = bar + 1;
+    }
+    if (fields.size() != 4) {
+      m.errors.push_back(
+          {li + 1,
+           "manifest line needs 4 '|'-separated fields "
+           "(file | symbol | ordering | rationale), got " +
+               std::to_string(fields.size())});
+      continue;
+    }
+    if (!orders.count(fields[2])) {
+      m.errors.push_back(
+          {li + 1, "unknown ordering '" + fields[2] +
+                       "' (want relaxed|acquire|release|acq_rel|consume)"});
+      continue;
+    }
+    m.entries.push_back({fields[0], fields[1], fields[2], fields[3], li + 1});
+  }
+  return m;
+}
+
+}  // namespace
+
+int LayerConfig::LayerOf(const std::string& rel) const {
+  return LayerConfigLayerOf(*this, rel);
+}
+
+void IndexSymbols(SourceFile& file) { Scanner(file).Run(); }
+
+std::string SourceFile::EnclosingSymbol(std::size_t line) const {
+  const FunctionSym* best_fn = nullptr;
+  for (const FunctionSym& fn : functions) {
+    if (!fn.is_definition) continue;
+    const std::size_t begin = std::min(fn.line, fn.body_begin_line);
+    if (line < begin || line > fn.body_end_line) continue;
+    if (best_fn == nullptr ||
+        fn.body_begin_line >= best_fn->body_begin_line) {
+      best_fn = &fn;
+    }
+  }
+  if (best_fn != nullptr) return best_fn->Display();
+  const ClassSym* best_cls = nullptr;
+  for (const ClassSym& cls : classes) {
+    if (line < cls.body_begin_line || line > cls.body_end_line) continue;
+    if (best_cls == nullptr ||
+        cls.body_begin_line >= best_cls->body_begin_line) {
+      best_cls = &cls;
+    }
+  }
+  if (best_cls != nullptr) return best_cls->path;
+  return "<file-scope>";
+}
+
+const SourceFile* RepoModel::Find(const std::string& rel) const {
+  auto it = index_by_rel.find(rel);
+  return it == index_by_rel.end() ? nullptr : &files[it->second];
+}
+
+bool RepoModel::Reaches(int i, const std::string& suffix) const {
+  auto ends_with = [&](const std::string& s) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  if (ends_with(files[i].rel)) return true;
+  for (int r : reachable[i]) {
+    if (ends_with(files[r].rel)) return true;
+  }
+  return false;
+}
+
+RepoModel LoadRepo(const std::string& root) {
+  RepoModel model;
+  model.root = root;
+  for (const char* top : {"src", "tools", "tests"}) {
+    const fs::path dir = fs::path(root) / top;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (it->is_directory() &&
+          it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();  // miniature repos, not this tree
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      SourceFile file;
+      file.rel = fs::relative(it->path(), root).generic_string();
+      if (!ReadLines(it->path(), file.raw)) continue;
+      file.code = StripCommentsKeepStrings(file.raw);
+      file.toks = Tokenize(file.raw);
+      IndexSymbols(file);
+      model.files.push_back(std::move(file));
+    }
+  }
+  std::sort(model.files.begin(), model.files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  for (std::size_t i = 0; i < model.files.size(); ++i) {
+    model.index_by_rel[model.files[i].rel] = static_cast<int>(i);
+  }
+  // Resolve includes: relative to the including file, then the conventional
+  // include roots (src/ for the runtime, tools/dcart_lint/ for the linter's
+  // own sources, the repo root for everything else).
+  for (SourceFile& file : model.files) {
+    const std::string dir = DirName(file.rel);
+    for (const IncludeDirective& inc : file.toks.includes) {
+      int target = -1;
+      if (!inc.angled) {
+        for (const std::string& candidate :
+             {dir.empty() ? inc.path : dir + "/" + inc.path,
+              "src/" + inc.path, inc.path, "tools/dcart_lint/" + inc.path}) {
+          auto it = model.index_by_rel.find(NormalizePath(candidate));
+          if (it != model.index_by_rel.end()) {
+            target = it->second;
+            break;
+          }
+        }
+      }
+      file.include_targets.push_back(target);
+    }
+  }
+  // Transitive reachability (memoized DFS).
+  const std::size_t n = model.files.size();
+  model.reachable.assign(n, {});
+  std::vector<int> state(n, 0);  // 0 = unvisited, 1 = in progress, 2 = done
+  std::function<void(int)> visit = [&](int u) {
+    if (state[u] != 0) return;
+    state[u] = 1;
+    for (int v : model.files[u].include_targets) {
+      if (v < 0) continue;
+      model.reachable[u].insert(v);
+      if (state[v] == 0) visit(v);
+      if (state[v] == 2) {
+        model.reachable[u].insert(model.reachable[v].begin(),
+                                  model.reachable[v].end());
+      }
+      // state[v] == 1: cycle back-edge; the closure is completed below.
+    }
+    state[u] = 2;
+  };
+  for (std::size_t i = 0; i < n; ++i) visit(static_cast<int>(i));
+  // Cycles leave closures incomplete after one pass; iterate to fixpoint.
+  // (Include cycles are themselves a DL008 finding, but the model must not
+  // under-report reachability while one exists.)
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      const std::size_t before = model.reachable[u].size();
+      for (int v : std::set<int>(model.reachable[u])) {
+        model.reachable[u].insert(model.reachable[v].begin(),
+                                  model.reachable[v].end());
+      }
+      if (model.reachable[u].size() != before) changed = true;
+    }
+  }
+  model.layers = LoadLayers(root);
+  model.manifest = LoadManifest(root);
+  return model;
+}
+
+}  // namespace dcart::lint

@@ -1,0 +1,153 @@
+// Repo-wide model for dcart_lint's cross-file rules.
+//
+// LoadRepo() walks src/, tools/, and tests/ (fixture corpora excluded),
+// tokenizes every .h/.cpp, and builds:
+//
+//   - an include graph with repo-relative resolution and a transitive
+//     reachability relation (DL008 layering, DL011 epoch-scope),
+//   - a symbol index of function definitions/declarations (with their
+//     thread-safety annotations) and class members (DL009 site attribution,
+//     DL010 lock-contract consistency),
+//   - the checked-in layering DAG (tools/dcart_lint/layers.conf) and the
+//     atomics manifest (tools/dcart_lint/atomics_manifest.txt).
+//
+// The symbol scanner is a heuristic single pass over the token stream — it
+// tracks namespace/class/function scopes by brace matching, not by parsing
+// C++.  That is enough to answer the only question the rules ask ("which
+// function owns line N, and what annotations does it carry"), and it keeps
+// the tool dependency-free.  Misattributions are possible in principle;
+// every rule that consumes the index supports per-line suppressions so a
+// wrong guess never wedges CI.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace dcart::lint {
+
+struct Annotation {
+  std::string macro;  // "GUARDED_BY", "REQUIRES", "EXCLUDES", ...
+  std::string arg;    // normalized argument text ("mu_", "node->lock", "")
+  std::size_t line;   // 1-based
+
+  bool operator==(const Annotation&) const = default;
+  bool operator<(const Annotation& o) const {
+    return std::tie(macro, arg) < std::tie(o.macro, o.arg);
+  }
+};
+
+struct FunctionSym {
+  std::string name;        // as written; out-of-class defs keep "T::f" form
+  std::string class_path;  // innermost enclosing class(es), "" if none
+  bool is_definition = false;
+  std::size_t arity = 0;
+  std::size_t line = 0;             // line of the parameter list's '('
+  std::size_t body_begin_line = 0;  // 0 for declarations
+  std::size_t body_end_line = 0;
+  std::vector<Annotation> annotations;
+
+  /// Class-qualified display name: "ThreadPool::Submit", "RAddChild".
+  std::string Display() const;
+};
+
+struct MemberSym {
+  std::string class_path;
+  std::string name;
+  std::string type_text;  // leading tokens of the declaration, joined
+  std::size_t line = 0;
+  bool is_capability = false;  // Mutex / VersionLock / std::*mutex member
+  std::vector<Annotation> annotations;
+};
+
+struct ClassSym {
+  std::string path;  // "EpochManager" or "EpochManager::ThreadSlot"
+  std::size_t body_begin_line = 0;
+  std::size_t body_end_line = 0;
+};
+
+struct SourceFile {
+  std::string rel;               // '/'-separated path relative to root
+  std::vector<std::string> raw;  // as on disk (suppressions live here)
+  std::vector<std::string> code; // raw with comments blanked (legacy rules)
+  TokenizedFile toks;
+  std::vector<FunctionSym> functions;
+  std::vector<MemberSym> members;
+  std::vector<ClassSym> classes;
+  std::vector<int> include_targets;  // parallel to toks.includes; -1 external
+
+  /// Innermost function definition covering `line`, else innermost class,
+  /// else "<file-scope>".
+  std::string EnclosingSymbol(std::size_t line) const;
+};
+
+// ------------------------------------------------------------- layers.conf
+struct LayerConfigError {
+  std::size_t line;
+  std::string message;
+};
+
+struct LayerConfig {
+  bool loaded = false;
+  std::vector<std::string> names;
+  // Longest-prefix file assignment: (path prefix, layer index).
+  std::vector<std::pair<std::string, int>> prefixes;
+  // allowed_[i] = layers that i may (transitively) include, incl. itself.
+  std::vector<std::set<int>> allowed;
+  std::vector<LayerConfigError> errors;
+
+  /// Layer index for a repo-relative path, -1 if unassigned.
+  int LayerOf(const std::string& rel) const;
+};
+
+// --------------------------------------------------- atomics_manifest.txt
+struct ManifestEntry {
+  std::string file;
+  std::string symbol;
+  std::string ordering;  // relaxed | acquire | release | acq_rel | consume
+  std::string rationale;
+  std::size_t line;  // 1-based line in the manifest file
+};
+
+struct AtomicsManifest {
+  bool loaded = false;
+  std::vector<ManifestEntry> entries;
+  std::vector<LayerConfigError> errors;  // same shape: line + message
+};
+
+// ------------------------------------------------------------------ model
+struct RepoModel {
+  std::string root;
+  std::vector<SourceFile> files;
+  std::map<std::string, int> index_by_rel;
+  // reachable[i] = indices of files transitively included by files[i]
+  // (not including i itself unless there is an include cycle).
+  std::vector<std::set<int>> reachable;
+  LayerConfig layers;
+  AtomicsManifest manifest;
+
+  const SourceFile* Find(const std::string& rel) const;
+  /// True if files[i] is, or transitively includes, a file whose path ends
+  /// with `suffix` (e.g. "sync/epoch.h").
+  bool Reaches(int i, const std::string& suffix) const;
+};
+
+/// Relative paths of the two config files, under the lint root.
+inline constexpr char kLayersConfRel[] = "tools/dcart_lint/layers.conf";
+inline constexpr char kAtomicsManifestRel[] =
+    "tools/dcart_lint/atomics_manifest.txt";
+
+/// Load every .h/.cpp under root/{src,tools,tests} (tests/lint_fixtures
+/// excluded), index symbols, resolve includes, and parse the config files.
+/// Missing directories and missing config files are not errors: fixture
+/// corpora are miniature repos that carry only what their rules need.
+RepoModel LoadRepo(const std::string& root);
+
+/// Exposed for the symbol-index unit tests.
+void IndexSymbols(SourceFile& file);
+
+}  // namespace dcart::lint

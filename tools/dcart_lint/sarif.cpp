@@ -1,0 +1,124 @@
+#include "sarif.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dcart::lint {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const std::map<std::string, std::string>& RuleDescriptions() {
+  static const std::map<std::string, std::string> descriptions = {
+      {"DL000", "Suppression hygiene: every disable(...) needs a reason"},
+      {"DL001", "Fault-site registry completeness"},
+      {"DL003", "No blocking locks in trigger-phase hot paths"},
+      {"DL004", "No bare assert in release-reachable runtime code"},
+      {"DL005", "Raw file I/O only inside the bounds-checked helpers"},
+      {"DL006", "No metrics-registry lookups in trigger-phase hot paths"},
+      {"DL007", "Replication faults go through the FaultSite registry"},
+      {"DL008", "Include-graph layering (layers.conf)"},
+      {"DL009", "Atomics manifest (atomics_manifest.txt)"},
+      {"DL010", "Lock-contract consistency (thread-safety annotations)"},
+      {"DL011", "Epoch discipline (no direct delete outside retire path)"},
+  };
+  return descriptions;
+}
+
+}  // namespace
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  // Rules referenced by at least one result, in id order.
+  std::set<std::string> used;
+  for (const Finding& f : findings) used.insert(f.rule);
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"dcart_lint\",\n"
+      << "          \"informationUri\": \"docs/ANALYSIS.md\",\n"
+      << "          \"rules\": [\n";
+  bool first = true;
+  for (const std::string& rule : used) {
+    if (!first) out << ",\n";
+    first = false;
+    const auto it = RuleDescriptions().find(rule);
+    const std::string desc =
+        it != RuleDescriptions().end() ? it->second : "dcart_lint rule";
+    out << "            {\"id\": \"" << JsonEscape(rule)
+        << "\", \"shortDescription\": {\"text\": \"" << JsonEscape(desc)
+        << "\"}}";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out << ",\n";
+    first = false;
+    const std::size_t line = f.line == 0 ? 1 : f.line;
+    out << "        {\n"
+        << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << JsonEscape(f.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << JsonEscape(f.file) << "\"},\n"
+        << "                \"region\": {\"startLine\": " << line << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+  }
+  out << "\n      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace dcart::lint

@@ -1,0 +1,20 @@
+// SARIF 2.1.0 serialization of dcart_lint findings.
+//
+// CI uploads this so code hosts can render findings as inline annotations
+// on the PR diff; the schema is the minimal subset GitHub code scanning
+// consumes (tool.driver.rules + results with physicalLocation regions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace dcart::lint {
+
+/// Serialize findings as a SARIF 2.1.0 log with one run.  File paths are
+/// emitted as repo-relative artifact URIs; whole-file findings (line 0)
+/// are pinned to line 1, as SARIF regions are 1-based.
+std::string ToSarif(const std::vector<Finding>& findings);
+
+}  // namespace dcart::lint

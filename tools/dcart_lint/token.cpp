@@ -1,0 +1,270 @@
+#include "token.h"
+
+#include <cctype>
+
+namespace dcart::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Cursor {
+  const std::vector<std::string>& lines;
+  std::size_t li = 0;  // 0-based line index
+  std::size_t ci = 0;  // column index into lines[li]
+
+  bool AtEnd() const { return li >= lines.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    if (AtEnd()) return '\0';
+    const std::string& l = lines[li];
+    return ci + ahead < l.size() ? l[ci + ahead] : '\0';
+  }
+  bool AtEol() const { return !AtEnd() && ci >= lines[li].size(); }
+  void Advance() {
+    if (AtEnd()) return;
+    if (ci < lines[li].size()) {
+      // May land on the end-of-line state (ci == size); AtEol is a real
+      // position so directive/comment handlers see every line boundary.
+      ++ci;
+      return;
+    }
+    ++li;
+    ci = 0;
+  }
+  std::size_t LineNo() const { return li + 1; }
+};
+
+/// Consume a quoted literal starting at the opening quote.  Handles \-escapes
+/// and, for `kind == '"'` preceded by R, raw-string delimiters.
+void SkipQuoted(Cursor& c, char quote, bool raw) {
+  if (raw) {
+    // R"delim( ... )delim"
+    c.Advance();  // past the opening "
+    std::string delim;
+    while (!c.AtEnd() && c.Peek() != '(' && !c.AtEol()) {
+      delim.push_back(c.Peek());
+      c.Advance();
+    }
+    if (c.Peek() == '(') c.Advance();
+    const std::string closer = ")" + delim + "\"";
+    // Scan for the closer, possibly across lines.
+    std::string window;
+    while (!c.AtEnd()) {
+      if (c.AtEol()) {
+        window.clear();
+        c.Advance();
+        continue;
+      }
+      window.push_back(c.Peek());
+      if (window.size() > closer.size()) window.erase(window.begin());
+      c.Advance();
+      if (window == closer) return;
+    }
+    return;
+  }
+  c.Advance();  // past the opening quote
+  while (!c.AtEnd()) {
+    if (c.AtEol()) {
+      // Unterminated literal: treat end-of-line as end-of-literal.  Real
+      // code never hits this; malformed input must not hang the scanner.
+      return;
+    }
+    const char ch = c.Peek();
+    if (ch == '\\') {
+      c.Advance();
+      c.Advance();
+      continue;
+    }
+    c.Advance();
+    if (ch == quote) return;
+  }
+}
+
+/// Consume a // or /* */ comment; cursor sits on the leading '/'.
+void SkipComment(Cursor& c) {
+  if (c.Peek(1) == '/') {
+    c.li++;
+    c.ci = 0;
+    return;
+  }
+  // Block comment.
+  c.Advance();
+  c.Advance();
+  while (!c.AtEnd()) {
+    if (c.AtEol()) {
+      c.Advance();
+      continue;
+    }
+    if (c.Peek() == '*' && c.Peek(1) == '/') {
+      c.Advance();
+      c.Advance();
+      return;
+    }
+    c.Advance();
+  }
+}
+
+/// Consume a preprocessor directive (cursor on '#'); record #include paths.
+/// Continuation lines (trailing backslash) belong to the directive.  Comments
+/// inside the directive are skipped so `#include "x.h"  /* why */` parses.
+void SkipDirective(Cursor& c, std::vector<IncludeDirective>& includes) {
+  const std::size_t line = c.LineNo();
+  c.Advance();  // past '#'
+  // Read the directive name.
+  while (!c.AtEol() && !c.AtEnd() &&
+         std::isspace(static_cast<unsigned char>(c.Peek()))) {
+    c.Advance();
+  }
+  std::string name;
+  while (!c.AtEol() && IsIdentChar(c.Peek())) {
+    name.push_back(c.Peek());
+    c.Advance();
+  }
+  bool want_path = (name == "include" || name == "include_next");
+  // Consume the rest of the directive (with continuations).
+  while (!c.AtEnd()) {
+    if (c.AtEol()) {
+      const std::string& l = c.lines[c.li];
+      const bool continues = !l.empty() && l.back() == '\\';
+      c.Advance();
+      if (!continues) return;
+      continue;
+    }
+    const char ch = c.Peek();
+    if (ch == '/' && (c.Peek(1) == '/' || c.Peek(1) == '*')) {
+      if (c.Peek(1) == '/') {
+        // A // comment cannot hide a continuation backslash.
+        c.li++;
+        c.ci = 0;
+        return;
+      }
+      SkipComment(c);
+      continue;
+    }
+    if (want_path && (ch == '"' || ch == '<')) {
+      const char closer = ch == '"' ? '"' : '>';
+      c.Advance();
+      std::string path;
+      while (!c.AtEol() && c.Peek() != closer) {
+        path.push_back(c.Peek());
+        c.Advance();
+      }
+      if (c.Peek() == closer) c.Advance();
+      includes.push_back({line, path, closer == '>'});
+      want_path = false;
+      continue;
+    }
+    c.Advance();
+  }
+}
+
+}  // namespace
+
+TokenizedFile Tokenize(const std::vector<std::string>& raw) {
+  TokenizedFile out;
+  Cursor c{raw};
+  bool at_line_start = true;  // only whitespace seen so far on this line
+  while (!c.AtEnd()) {
+    if (c.AtEol()) {
+      c.Advance();
+      at_line_start = true;
+      continue;
+    }
+    const char ch = c.Peek();
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.Advance();
+      continue;
+    }
+    if (ch == '/' && (c.Peek(1) == '/' || c.Peek(1) == '*')) {
+      SkipComment(c);
+      continue;
+    }
+    if (ch == '#' && at_line_start) {
+      SkipDirective(c, out.includes);
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    const std::size_t line = c.LineNo();
+    if (ch == '"') {
+      SkipQuoted(c, '"', /*raw=*/false);
+      out.tokens.push_back({Token::Kind::kString, "\"\"", line});
+      continue;
+    }
+    if (ch == '\'') {
+      SkipQuoted(c, '\'', /*raw=*/false);
+      out.tokens.push_back({Token::Kind::kChar, "''", line});
+      continue;
+    }
+    if (IsIdentStart(ch)) {
+      std::string text;
+      while (!c.AtEol() && IsIdentChar(c.Peek())) {
+        text.push_back(c.Peek());
+        c.Advance();
+      }
+      // String prefixes: R"..." raw strings, u8"/u"/U"/L" encodings (and
+      // their raw combinations) — the quote belongs to the literal.
+      if (c.Peek() == '"' &&
+          (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+           text == "LR")) {
+        SkipQuoted(c, '"', /*raw=*/true);
+        out.tokens.push_back({Token::Kind::kString, "\"\"", line});
+        continue;
+      }
+      if (c.Peek() == '"' &&
+          (text == "u8" || text == "u" || text == "U" || text == "L")) {
+        SkipQuoted(c, '"', /*raw=*/false);
+        out.tokens.push_back({Token::Kind::kString, "\"\"", line});
+        continue;
+      }
+      if (c.Peek() == '\'' &&
+          (text == "u8" || text == "u" || text == "U" || text == "L")) {
+        SkipQuoted(c, '\'', /*raw=*/false);
+        out.tokens.push_back({Token::Kind::kChar, "''", line});
+        continue;
+      }
+      out.tokens.push_back({Token::Kind::kIdent, std::move(text), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      std::string text;
+      // Good-enough numeric scan: digits, idents (suffixes, hex), dots, and
+      // sign characters directly after an exponent marker.
+      while (!c.AtEol() &&
+             (IsIdentChar(c.Peek()) || c.Peek() == '.' ||
+              ((c.Peek() == '+' || c.Peek() == '-') && !text.empty() &&
+               (text.back() == 'e' || text.back() == 'E' ||
+                text.back() == 'p' || text.back() == 'P')))) {
+        text.push_back(c.Peek());
+        c.Advance();
+      }
+      out.tokens.push_back({Token::Kind::kNumber, std::move(text), line});
+      continue;
+    }
+    // Punctuation.  `::` and `->` matter to the scope scanner; everything
+    // else is a single character.
+    if (ch == ':' && c.Peek(1) == ':') {
+      c.Advance();
+      c.Advance();
+      out.tokens.push_back({Token::Kind::kPunct, "::", line});
+      continue;
+    }
+    if (ch == '-' && c.Peek(1) == '>') {
+      c.Advance();
+      c.Advance();
+      out.tokens.push_back({Token::Kind::kPunct, "->", line});
+      continue;
+    }
+    c.Advance();
+    out.tokens.push_back({Token::Kind::kPunct, std::string(1, ch), line});
+  }
+  return out;
+}
+
+}  // namespace dcart::lint

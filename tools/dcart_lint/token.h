@@ -1,0 +1,45 @@
+// Lightweight C++ tokenizer for the dcart_lint cross-file analysis engine.
+//
+// The legacy rules (DL001..DL007) pattern-match a comment-stripped line
+// view; the cross-file rules (DL008..DL011) need more: tokens that skip
+// string/char literals (so a "memory_order_relaxed" inside a message can
+// never be a finding), preprocessor awareness (an #include is an include
+// edge, a #define body is not code), and stable line numbers for every
+// token.  This is deliberately NOT a full lexer — no keyword table, no
+// numeric-literal taxonomy — because the rules only ever ask "which
+// identifier/punctuator is at which line".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dcart::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;  // literal text; strings/chars keep only their delimiter
+  std::size_t line;  // 1-based
+
+  bool Is(const char* s) const { return text == s; }
+};
+
+struct IncludeDirective {
+  std::size_t line;  // 1-based
+  std::string path;  // as written between the delimiters
+  bool angled;       // <...> (system) vs "..." (repo-resolvable)
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Tokenize the raw lines of one file.  Comments, string/char literal
+/// *contents* (incl. raw strings), and preprocessor directives other than
+/// #include are consumed without producing tokens; `::` and `->` are single
+/// punctuators, every other punctuator is one character.
+TokenizedFile Tokenize(const std::vector<std::string>& raw);
+
+}  // namespace dcart::lint
