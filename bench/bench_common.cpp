@@ -48,6 +48,16 @@ ExecutionResult LoadAndRun(IndexEngine& engine, const Workload& workload,
 }
 
 int RequireValidFlags(const CliFlags& flags) {
+  if (flags.Has("fault-list")) {
+    // Introspection short-circuit: print the registry (with whatever modes
+    // the other --fault-* flags configured) and exit successfully without
+    // running the experiment.
+    std::fputs(
+        resilience::FaultListReport(resilience::FaultPlanFromFlags(flags))
+            .c_str(),
+        stdout);
+    std::exit(0);
+  }
   Status status = flags.status();
   status.Update(resilience::ValidateFaultFlags(flags));
   status.Update(obs::ValidateObsFlags(flags));

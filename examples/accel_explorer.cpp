@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "baselines/registry.h"
+#include "bench/bench_common.h"
 #include "common/cli.h"
 #include "dcart/accelerator.h"
 #include "dcart/report.h"
@@ -18,6 +19,7 @@ using namespace dcart;
 
 int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
+  if (const int rc = bench::RequireValidFlags(flags)) return rc;
   const auto kind =
       ParseWorkloadName(flags.GetString("workload", "IPGEO"));
   if (!kind) {

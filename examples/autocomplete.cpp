@@ -9,12 +9,16 @@
 
 #include "art/iterator.h"
 #include "art/tree.h"
+#include "bench/bench_common.h"
+#include "common/cli.h"
 #include "common/key_codec.h"
 #include "workload/generators.h"
 
 using namespace dcart;
 
 int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  if (const int rc = bench::RequireValidFlags(flags)) return rc;
   // Build a dictionary with the DICT generator and bulk-load it sorted
   // (O(n), ~5x faster than repeated inserts).
   WorkloadConfig cfg;
@@ -31,8 +35,7 @@ int main(int argc, char** argv) {
   std::printf("dictionary: %zu words, height %zu, %s\n", dict.size(),
               dict.Height(), dict.ComputeMemoryStats().ToString().c_str());
 
-  std::vector<std::string> prefixes;
-  for (int i = 1; i < argc; ++i) prefixes.emplace_back(argv[i]);
+  std::vector<std::string> prefixes = flags.positional();
   if (prefixes.empty()) prefixes = {"tra", "se", "qu"};
 
   for (const std::string& prefix : prefixes) {

@@ -1,7 +1,7 @@
 // IP-geolocation lookup service — the paper's motivating IPGEO scenario.
 //
 //   build/examples/ipgeo_service [--keys=N] [--ops=N] [--state-dir=PATH]
-//                                [--replica]
+//                                [--replica] [--cluster=N]
 //
 // Builds an IP -> country index, then serves a skewed lookup/update stream
 // (hot /8 prefixes dominating, as in GeoLite2 traffic) twice: once on the
@@ -20,6 +20,13 @@
 // primary box killed mid-serve, the replica promoted with Promote(), and
 // the remaining requests served from the promoted box — the failover
 // workflow after losing the primary entirely.
+//
+// `--cluster=N` adds the sharded-cluster demo: the stream served by
+// DCART-CLUSTER (N prefix-range shards, each a primary/replica pair), shard
+// 0's primary killed mid-serve, the watchdog promoting its replica
+// automatically, a revived stale primary fenced by the term check, and the
+// shard rejoined as a fresh pair — the full kill / promote / rejoin
+// operator loop from docs/RESILIENCE.md.
 // Observability: `--metrics-json=PATH` exports the serving results (and the
 // process metrics registry) as a versioned JSON snapshot; `--trace-json=PATH`
 // captures Combine/Traverse/Trigger phase spans loadable in Perfetto.  See
@@ -29,6 +36,7 @@
 
 #include "baselines/registry.h"
 #include "bench/bench_common.h"
+#include "cluster/cluster.h"
 #include "common/cli.h"
 #include "common/key_codec.h"
 #include "resilience/fault_injector.h"
@@ -215,6 +223,78 @@ int main(int argc, char** argv) {
     std::filesystem::remove_all(ha_dir);
     all_ok = all_ok && promoted.ok() && ha_resumed.status.ok() &&
              ha_check.has_value();
+  }
+
+  // ----------------------------------------------------------------------
+  // Sharded cluster serving (--cluster=N): prefix-range shards, per-shard
+  // replica pairs, watchdog failover, term fencing, rejoin.
+  const auto shard_count =
+      static_cast<std::size_t>(flags.GetInt("cluster", 0));
+  if (shard_count > 0) {
+    cluster::ClusterOptions copt;
+    copt.shards = shard_count;
+
+    std::printf("\nsharded cluster serving (%zu shards, one HA pair each):\n",
+                shard_count);
+    cluster::ClusterEngine cl(copt);
+    cl.Load(workload.load_items);
+    for (std::size_t s = 0; s < cl.shard_count(); ++s) {
+      const auto [lo, hi] = cl.ShardRange(s);
+      std::printf("  shard %zu owns first-byte range [0x%02x, 0x%02x]\n", s,
+                  lo, hi);
+    }
+
+    const std::size_t half = workload.ops.size() / 2;
+    RunConfig cl_run;
+    cl_run.batch_size = 4096;
+    const ExecutionResult cl_served =
+        cl.Run({workload.ops.data(), half}, cl_run);
+    observability.Record("IPGEO/cluster", "DCART-CLUSTER", cl_served);
+    std::printf("  %llu requests acknowledged replica-durable across the "
+                "cluster\n",
+                static_cast<unsigned long long>(cl_served.ops_acknowledged));
+
+    // Shard 0's primary box dies; the watchdog notices the heartbeat
+    // silence, rides out probation, and promotes the replica on its own.
+    cl.KillShardPrimary(0);
+    std::size_t ticks = 0;
+    while (cl.failovers() == 0 && ticks < 1000) {
+      cl.Tick();
+      ++ticks;
+    }
+    std::printf("  shard 0 primary killed: watchdog promoted the replica "
+                "after %zu ticks (term %llu -> %llu)\n",
+                ticks, static_cast<unsigned long long>(cl.ShardTerm(0) - 1),
+                static_cast<unsigned long long>(cl.ShardTerm(0)));
+
+    // The old primary's box comes back believing it still owns term 1 —
+    // the fence refuses it, so there is never a second writer.
+    const Status stale = cl.PromoteShard(0, 1);
+    std::printf("  revived old primary (stale term 1) fenced: %s\n",
+                stale.message().c_str());
+
+    // The promoted shard serves its range; the rest never noticed.
+    const ExecutionResult cl_resumed = cl.Run(
+        {workload.ops.data() + half, workload.ops.size() - half}, cl_run);
+    observability.Record("IPGEO/cluster-after-failover", "DCART-CLUSTER",
+                         cl_resumed);
+
+    // Give shard 0 a replica again: rebuild it as a fresh pair in a new
+    // epoch, seeded from the promoted tree.
+    const Status rejoined = cl.RejoinShard(0);
+    const auto cl_check = cl.Lookup(workload.load_items.front().first);
+    std::printf("  served the remaining %zu requests (%s); shard 0 rejoined "
+                "as a fresh pair in term %llu (%s); %s -> %s\n",
+                workload.ops.size() - half,
+                cl_resumed.status.ok() ? "ok"
+                                       : cl_resumed.status.message().c_str(),
+                static_cast<unsigned long long>(cl.ShardTerm(0)),
+                rejoined.ok() ? "ok" : rejoined.message().c_str(),
+                FormatIPv4(workload.load_items.front().first).c_str(),
+                cl_check ? kCountries[*cl_check % std::size(kCountries)]
+                         : "MISSING");
+    all_ok = all_ok && cl.failovers() == 1 && !stale.ok() &&
+             cl_resumed.status.ok() && rejoined.ok() && cl_check.has_value();
   }
 
   if (const int rc = observability.Finish()) return rc;

@@ -14,12 +14,16 @@
 
 #include "art/tree.h"
 #include "baselines/olc_tree.h"
+#include "bench/bench_common.h"
+#include "common/cli.h"
 #include "common/key_codec.h"
 #include "common/rng.h"
 
 using namespace dcart;
 
-int main() {
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  if (const int rc = bench::RequireValidFlags(flags)) return rc;
   constexpr std::size_t kThreads = 4;
   constexpr int kOpsPerThread = 50'000;
   constexpr std::uint64_t kAccounts = 20'000;

@@ -7,11 +7,15 @@
 #include <cstdio>
 
 #include "art/tree.h"
+#include "bench/bench_common.h"
+#include "common/cli.h"
 #include "common/key_codec.h"
 
 using namespace dcart;
 
-int main() {
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  if (const int rc = bench::RequireValidFlags(flags)) return rc;
   art::Tree tree;
 
   // --- integer keys ------------------------------------------------------

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "baselines/registry.h"
+#include "bench/bench_common.h"
 #include "common/cli.h"
 #include "workload/generators.h"
 #include "workload/trace_io.h"
@@ -34,6 +35,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
+  if (const int rc = bench::RequireValidFlags(flags)) return rc;
   if (flags.positional().size() < 2) return Usage();
   const std::string command = flags.positional()[0];
   const std::string path = flags.positional()[1];

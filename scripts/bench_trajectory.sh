@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Performance-trajectory baseline: run the two headline benches through
-# their --metrics-json exporters and fold both snapshots into one dated
-# BENCH_<date>.json for committing at the repo root.
+# Performance-trajectory baseline: run the two headline benches (plus the
+# info-only sharded-cluster demo) through their --metrics-json exporters
+# and fold the snapshots into one dated BENCH_<date>.json for committing
+# at the repo root.
 #
 #   scripts/bench_trajectory.sh [build-dir] [out-file]
 #
@@ -23,6 +24,7 @@ trap 'rm -rf "${TMP_DIR}"' EXIT
 # enough that the whole run stays under a minute on a laptop.
 FIG9_SCALE="--keys=20000 --ops=60000"
 WALLCLOCK_SCALE="--keys=20000 --ops=60000 --threads=4 --reps=3"
+CLUSTER_SCALE="--keys=20000 --ops=60000 --cluster=3"
 
 echo "== fig9_performance (modeled, all engines x all workloads) =="
 "${BUILD_DIR}/bench/fig9_performance" ${FIG9_SCALE} \
@@ -32,19 +34,29 @@ echo "== wallclock_ctt (real threads) =="
 "${BUILD_DIR}/bench/wallclock_ctt" ${WALLCLOCK_SCALE} \
     --metrics-json="${TMP_DIR}/wallclock.json" > /dev/null
 
+# Info-only series: the 3-shard cluster demo serves the IPGEO stream
+# through prefix routing + per-shard HA pairs (and a mid-run failover),
+# so its throughput tracks the cluster overhead over the bare pair.  All
+# cluster runs report wallclock=true, which keeps them out of the
+# regression gate automatically — they move with the host.
+echo "== ipgeo_service --cluster (sharded HA, info-only) =="
+"${BUILD_DIR}/examples/ipgeo_service" ${CLUSTER_SCALE} \
+    --metrics-json="${TMP_DIR}/cluster.json" > /dev/null
+
 echo "== validating snapshots =="
 python3 "${REPO_DIR}/scripts/check_metrics_json.py" "${TMP_DIR}/fig9.json"
 python3 "${REPO_DIR}/scripts/check_metrics_json.py" "${TMP_DIR}/wallclock.json"
+python3 "${REPO_DIR}/scripts/check_metrics_json.py" "${TMP_DIR}/cluster.json"
 
 echo "== merging -> ${OUT_FILE} =="
 python3 - "${TMP_DIR}/fig9.json" "${TMP_DIR}/wallclock.json" \
-    "${OUT_FILE}" <<'PY'
+    "${TMP_DIR}/cluster.json" "${OUT_FILE}" <<'PY'
 import json
 import platform
 import subprocess
 import sys
 
-fig9_path, wallclock_path, out_path = sys.argv[1:4]
+fig9_path, wallclock_path, cluster_path, out_path = sys.argv[1:5]
 
 
 def load(path):
@@ -59,8 +71,15 @@ def git(*args):
         return ""
 
 
+cluster = load(cluster_path)
+# The service demo also re-records its SMART/DCART/FT baselines; the
+# trajectory only wants the cluster series itself.
+cluster["runs"] = [r for r in cluster.get("runs", [])
+                   if r.get("engine") == "DCART-CLUSTER"]
+
 snapshots = {"fig9_performance": load(fig9_path),
-             "wallclock_ctt": load(wallclock_path)}
+             "wallclock_ctt": load(wallclock_path),
+             "ipgeo_cluster": cluster}
 merged = {
     "baseline_version": 1,
     "date": snapshots["fig9_performance"].get("timestamp", ""),

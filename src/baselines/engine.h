@@ -116,6 +116,14 @@ struct ExecutionResult {
   /// only); after a crash, recovery restores exactly this prefix.
   std::uint64_t ops_acknowledged = 0;
 
+  // -- Degraded service (filled by the cluster engine) ----------------------
+  /// True when part of the keyspace was unavailable during the run: ops and
+  /// scan ranges routed to a shard with no serving member were refused with
+  /// a typed kUnavailable status while healthy shards kept serving.
+  bool partial = false;
+  /// Operations refused because their shard had no serving member.
+  std::uint64_t unavailable_ops = 0;
+
   double ThroughputOpsPerSec() const {
     return seconds > 0.0 ? static_cast<double>(stats.operations) / seconds
                          : 0.0;

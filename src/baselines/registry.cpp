@@ -33,6 +33,10 @@ std::unique_ptr<IndexEngine> MakeEngine(const std::string& name,
     return std::make_unique<resilience::ReplicatedEngine>(options.replication,
                                                           options.dcartcp);
   }
+  if (name == "DCART-CLUSTER") {
+    return std::make_unique<cluster::ClusterEngine>(options.cluster,
+                                                    options.dcartcp);
+  }
   if (name == "DCART") {
     return std::make_unique<accel::DcartEngine>(options.dcart,
                                                 options.fpga_model);
@@ -43,7 +47,7 @@ std::unique_ptr<IndexEngine> MakeEngine(const std::string& name,
 std::vector<std::string> ListEngines() {
   return {"ART",         "ART-OLC", "Heart",    "SMART",       "CuART",
           "DCART-C",     "DCART-CP", "DCART-CP-FT", "DCART-CP-HA",
-          "DCART"};
+          "DCART-CLUSTER", "DCART"};
 }
 
 }  // namespace dcart

@@ -16,6 +16,8 @@
 //                   (write-ahead journal + snapshots + Recover())
 //   "DCART-CP-HA" — DCART-CP-FT primary plus a log-shipped replica with
 //                   chaos-hardened catch-up and Promote() failover
+//   "DCART-CLUSTER" — prefix-sharded cluster of DCART-CP-HA pairs with a
+//                   routing directory, watchdog failover, and term fencing
 //   "DCART"    — the FPGA accelerator simulator
 #pragma once
 
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "baselines/engine.h"
+#include "cluster/cluster.h"
 #include "dcart/config.h"
 #include "dcartc/dcartc.h"
 #include "dcartc/parallel_runtime.h"
@@ -48,6 +51,9 @@ struct EngineOptions {
   /// Replication knobs for "DCART-CP-HA" (durability home, window, sync
   /// mode).  Default (empty dir) runs the pair in memory.
   resilience::ReplicationOptions replication;
+  /// Sharding/failover knobs for "DCART-CLUSTER" (shard count, durability
+  /// home, watchdog tuning).  Default: 4 in-memory shards.
+  cluster::ClusterOptions cluster;
 };
 
 /// Instantiate a fresh engine by registered name; nullptr if unknown.

@@ -9,10 +9,23 @@
 // document why the error is unrecoverable-and-ignorable.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
 namespace dcart {
+
+/// Machine-checkable failure class.  Most errors are kUnknown (the message
+/// carries the diagnosis); the cluster/failover paths use the typed codes so
+/// callers can branch on *why* — retry after failover (kUnavailable), refuse
+/// a stale owner (kFenced), ignore a duplicate failover (kAlreadyPromoted) —
+/// instead of string-matching messages.
+enum class StatusCode : std::uint8_t {
+  kUnknown = 0,      // generic failure; see message()
+  kUnavailable,      // the serving member(s) for the target are down
+  kFenced,           // rejected by epoch/term fencing (stale owner)
+  kAlreadyPromoted,  // duplicate failover: this member already serves
+};
 
 class [[nodiscard]] Status {
  public:
@@ -25,15 +38,23 @@ class [[nodiscard]] Status {
     s.message_ = std::move(message);
     return s;
   }
+  static Status TypedError(StatusCode code, std::string message) {
+    Status s = Error(std::move(message));
+    s.code_ = code;
+    return s;
+  }
 
   bool ok() const { return ok_; }
+  /// kUnknown for ok statuses and untyped errors.
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// Merge another status in, keeping the *first* error as the primary one
-  /// (the earliest failure is the one that explains the rest) but appending
-  /// every subsequent error's message ("; then: ...") so a failure chain —
-  /// crash, then failed checkpoint, then failed rollover — survives into
-  /// the recovery logs instead of being silently discarded.
+  /// (the earliest failure is the one that explains the rest — its code is
+  /// kept too) but appending every subsequent error's message ("; then: ...")
+  /// so a failure chain — crash, then failed checkpoint, then failed
+  /// rollover — survives into the recovery logs instead of being silently
+  /// discarded.
   void Update(const Status& other) {
     if (other.ok_) return;
     if (ok_) {
@@ -45,6 +66,7 @@ class [[nodiscard]] Status {
 
  private:
   bool ok_ = true;
+  StatusCode code_ = StatusCode::kUnknown;
   std::string message_;
 };
 

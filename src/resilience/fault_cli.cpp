@@ -21,7 +21,7 @@ FaultPlan FaultPlanFromFlags(const CliFlags& flags) {
 Status ValidateFaultFlags(const CliFlags& flags) {
   for (const std::string& name : flags.FlagNames()) {
     if (!name.starts_with("fault-")) continue;
-    if (name == "fault-seed") continue;
+    if (name == "fault-seed" || name == "fault-list") continue;
     bool known = false;
     for (std::size_t i = 0; i < kNumFaultSites && !known; ++i) {
       const std::string site =
@@ -34,6 +34,28 @@ Status ValidateFaultFlags(const CliFlags& flags) {
     }
   }
   return Status::Ok();
+}
+
+std::string FaultListReport(const FaultPlan& plan) {
+  std::string report = "registered fault sites (--fault-<site>=P or "
+                       "--fault-<site>-at=N):\n";
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    char mode[48];
+    if (plan.trigger_at[i] != 0) {
+      std::snprintf(mode, sizeof mode, "trigger_at=%llu",
+                    static_cast<unsigned long long>(plan.trigger_at[i]));
+    } else if (plan.probability[i] > 0.0) {
+      std::snprintf(mode, sizeof mode, "probability=%g", plan.probability[i]);
+    } else {
+      std::snprintf(mode, sizeof mode, "off");
+    }
+    char line[128];
+    std::snprintf(line, sizeof line, "  %-24s %s\n", FaultSiteName(site),
+                  mode);
+    report += line;
+  }
+  return report;
 }
 
 std::string FaultReport(const FaultInjector& injector) {

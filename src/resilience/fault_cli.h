@@ -3,6 +3,7 @@
 //   --fault-seed=N                 injector seed (default 1)
 //   --fault-<site>=P               per-check fire probability in [0, 1]
 //   --fault-<site>-at=N            fire exactly on the Nth check (1-based)
+//   --fault-list                   print every registered site and exit
 //
 // Site names are FaultSiteName() strings, e.g. --fault-hbm-read-corrupt=0.01
 // or --fault-crash-at-batch-boundary-at=7.
@@ -20,6 +21,12 @@ FaultPlan FaultPlanFromFlags(const CliFlags& flags);
 
 /// One line per armed site with check/fire counts, for end-of-run reports.
 std::string FaultReport(const FaultInjector& injector);
+
+/// `--fault-list` payload: every registered site with both flag spellings
+/// and the trigger mode `plan` configures for it (probability, trigger_at,
+/// or off).  Derived from the FaultSiteName registry, so a site added there
+/// appears here without touching any binary.
+std::string FaultListReport(const FaultPlan& plan);
 
 /// Reject `--fault-*` flags that name no known site: a typo like
 /// --fault-hbm-read-corupt=0.5 would otherwise run the experiment with fault

@@ -35,6 +35,9 @@ const char* FaultSiteName(FaultSite site) {
     case FaultSite::kReplDuplicate: return "repl-duplicate";
     case FaultSite::kReplTruncate: return "repl-truncate";
     case FaultSite::kReplDisconnect: return "repl-disconnect";
+    case FaultSite::kNetPartialWrite: return "net-partial-write";
+    case FaultSite::kNetPartialRead: return "net-partial-read";
+    case FaultSite::kNetConnectTimeout: return "net-connect-timeout";
     case FaultSite::kNumSites: break;
   }
   return "unknown";

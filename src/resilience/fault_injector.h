@@ -51,6 +51,11 @@ enum class FaultSite : unsigned {
   kReplDuplicate,   // frame delivered twice; receiver must dedupe by sequence
   kReplTruncate,    // payload cut mid-record; receiver's CRC check rejects it
   kReplDisconnect,  // link drops; sends fail until the backoff reconnect
+  // socket transport: ways a real TCP stream fails that the in-process
+  // queues cannot (resilience/socket_link.h).
+  kNetPartialWrite,  // write() lands only part of a frame; the stream is torn
+  kNetPartialRead,   // read() returns only a few bytes this pump (benign)
+  kNetConnectTimeout,  // a reconnect attempt times out; backoff continues
   kNumSites
 };
 

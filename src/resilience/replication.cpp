@@ -8,6 +8,7 @@
 #include "common/crc32.h"
 #include "obs/metrics.h"
 #include "resilience/fault_injector.h"
+#include "resilience/socket_link.h"
 
 namespace dcart::resilience {
 
@@ -83,6 +84,20 @@ std::uint32_t FrameCrc(const Frame& frame) {
 }
 
 }  // namespace
+
+// ----------------------------------------------------------------- backoff --
+
+std::uint64_t JitteredBackoff(std::uint64_t base, std::uint64_t salt) {
+  if (base <= 1) return base;
+  // SplitMix64 finalizer: stateless, so a fixed (base, salt) pair always
+  // jitters to the same wait and chaos runs replay bit-identically.
+  std::uint64_t z = salt + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const std::uint64_t lower = (base + 1) / 2;
+  return lower + z % (base - lower + 1);
+}
 
 // -------------------------------------------------------------------- link --
 
@@ -252,6 +267,12 @@ void ReplicaEngine::Pump(ReplicationLink& link) {
       case FrameType::kChecksumProbe:
         SendAck(link, /*with_checksum=*/true);
         break;
+      case FrameType::kHeartbeat:
+        // Liveness only — no reply, no sequence check.  The cluster
+        // watchdog reads the age of the last one to judge the primary.
+        ++heartbeats_received_;
+        last_heartbeat_tick_ = link.now();
+        break;
       case FrameType::kAck:
       case FrameType::kCatchUpRequest:
         break;  // wrong direction; ignore
@@ -353,6 +374,11 @@ void ReplicaEngine::RequestCatchUp(ReplicationLink& link) {
 }
 
 Status ReplicaEngine::Promote() {
+  if (promoted_engine_ != nullptr) {
+    return Status::TypedError(
+        StatusCode::kAlreadyPromoted,
+        "duplicate failover: this replica is already promoted and serving");
+  }
   journal_.Close();  // flush descriptor state before recovery scans the dir
   if (durable()) {
     auto engine = std::make_unique<ResilientEngine>(
@@ -424,7 +450,15 @@ ReplicatedEngine::ReplicatedEngine(ReplicationOptions options,
   primary.keep_generations = options_.keep_generations;
   primary_ = std::make_unique<ResilientEngine>(primary, runtime_config_);
   replica_ = std::make_unique<ReplicaEngine>(options_, runtime_config_);
-  link_ = std::make_unique<InProcessLink>();
+  if (options_.link == LinkKind::kSocket) {
+    link_ = SocketLink::Create(link_error_);
+  }
+  if (link_ == nullptr) {
+    // Default transport, and the fallback when socket setup failed (the
+    // parked link_error_ makes the next Run()/Drain() report the failure
+    // instead of silently replicating in-process).
+    link_ = std::make_unique<InProcessLink>();
+  }
 }
 
 ReplicatedEngine::~ReplicatedEngine() = default;
@@ -439,7 +473,7 @@ void ReplicatedEngine::Load(
   // Bootstrap the replica from a snapshot frame — the same resync path a
   // diverged or far-behind replica takes, so bootstrap exercises it too.
   // Load() has no error channel; a failed sync is parked for the next Run().
-  load_status_ = SyncSnapshot();
+  load_status_ = link_error_.ok() ? SyncSnapshot() : link_error_;
 }
 
 const art::Tree& ReplicatedEngine::tree() const {
@@ -463,6 +497,10 @@ ExecutionResult ReplicatedEngine::Run(std::span<const Operation> ops,
   ExecutionResult result;
   result.platform = "cpu";
   result.wallclock = true;
+  if (!link_error_.ok()) {
+    result.status = link_error_;
+    return result;
+  }
   if (!primary_alive_) {
     result.status = Status::Error(
         "primary is dead; call Promote() to fail over to the replica");
@@ -562,8 +600,13 @@ void ReplicatedEngine::SendFrame(Frame frame) {
         reconnect_backoff_ == 0
             ? std::max<std::uint64_t>(1, options_.retry_timeout_ticks)
             : std::min(reconnect_backoff_ * 2, options_.backoff_cap_ticks);
-    next_reconnect_ = link_->now() + reconnect_backoff_;
-    Metrics().backoff_ms->Set(static_cast<double>(reconnect_backoff_));
+    // The exponential base stays clean in reconnect_backoff_; the scheduled
+    // wait is jittered so pairs that lost the same link don't all reconnect
+    // on the same tick.
+    const std::uint64_t wait =
+        JitteredBackoff(reconnect_backoff_, link_->now() ^ reconnect_backoff_);
+    next_reconnect_ = link_->now() + wait;
+    Metrics().backoff_ms->Set(static_cast<double>(wait));
   }
 }
 
@@ -596,10 +639,14 @@ void ReplicatedEngine::PumpOnce() {
   // the outage does not inflate per-record attempt counts.
   if (!link_->connected()) return;
   for (InFlight& entry : inflight_) {
-    const std::uint64_t wait = std::min(
+    const std::uint64_t base = std::min(
         std::max<std::uint64_t>(1, options_.retry_timeout_ticks)
             << std::min<std::uint32_t>(entry.attempts - 1, 16),
         std::max<std::uint64_t>(1, options_.backoff_cap_ticks));
+    // Jitter per (sequence, attempt): records stalled by the same fault
+    // spread their retransmissions instead of re-bursting in lockstep.
+    const std::uint64_t wait = JitteredBackoff(
+        base, entry.sequence * 0x100000001b3ull + entry.attempts);
     if (link_->now() - entry.last_sent >= wait) {
       entry.last_sent = link_->now();
       ++entry.attempts;
@@ -691,6 +738,7 @@ Status ReplicatedEngine::DrainInflight() {
 }
 
 Status ReplicatedEngine::Drain() {
+  if (!link_error_.ok()) return link_error_;
   if (!primary_alive_) return Status::Ok();  // fenced: nothing to ship
   Status status = DrainInflight();
   if (!status.ok()) return status;
@@ -799,8 +847,52 @@ Status ReplicatedEngine::SyncSnapshot() {
 
 void ReplicatedEngine::KillPrimary() { primary_alive_ = false; }
 
+void ReplicatedEngine::SendHeartbeat() {
+  if (!primary_alive_ || primary_->crashed() || replica_->promoted()) return;
+  Frame hb;
+  hb.type = FrameType::kHeartbeat;
+  hb.sequence = next_sequence_;
+  hb.payload_crc = FrameCrc(hb);
+  // Through SendFrame on purpose: a partitioned or disconnected link starves
+  // heartbeats exactly like it starves records, which is the signal the
+  // watchdog exists to notice.
+  SendFrame(std::move(hb));
+}
+
+void ReplicatedEngine::PumpIdle() {
+  if (!primary_alive_) {
+    // The primary is dead: no retransmits, no reconnect attempts on its
+    // behalf — but frames already in flight still come due for the replica.
+    link_->Tick();
+    replica_->Pump(*link_);
+    return;
+  }
+  PumpOnce();
+}
+
+std::uint64_t ReplicatedEngine::replica_heartbeat_age() const {
+  return link_->now() - replica_->last_heartbeat_tick();
+}
+
 Status ReplicatedEngine::Promote() {
+  if (replica_->promoted()) {
+    return Status::TypedError(
+        StatusCode::kAlreadyPromoted,
+        "duplicate failover: the replica is already promoted and serving");
+  }
   primary_alive_ = false;  // fence: no split-brain double-serving
+  // Promote-during-catch-up: everything already on the wire (including
+  // delayed frames still ripening) must reach the replica before it starts
+  // serving, or acknowledged records die with the link.  Pump until the
+  // replica makes no progress for several consecutive ticks — strictly more
+  // than the in-process delay horizon, so a delayed frame cannot outwait us.
+  std::uint64_t idle_ticks = 0;
+  while (idle_ticks < 8) {
+    const std::uint64_t before = replica_->applied_records();
+    link_->Tick();
+    replica_->Pump(*link_);
+    idle_ticks = replica_->applied_records() == before ? idle_ticks + 1 : 0;
+  }
   Metrics().failovers->Increment();
   return replica_->Promote();
 }

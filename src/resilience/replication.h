@@ -69,7 +69,8 @@ enum class FrameType : std::uint8_t {
   kSnapshot,       // bootstrap/resync image (payload = record of kWrite ops)
   kChecksumProbe,  // primary asks for the replica's tree checksum
   kAck,            // replica -> primary: cumulative applied floor
-  kCatchUpRequest  // replica -> primary: resend records from `sequence`
+  kCatchUpRequest,  // replica -> primary: resend records from `sequence`
+  kHeartbeat       // primary -> replica liveness beacon (cluster watchdog)
 };
 
 /// One message on the link, either direction.  `sequence` is the record
@@ -156,9 +157,28 @@ class InProcessLink : public ReplicationLink {
 /// never per record.
 std::uint64_t TreeChecksum(const art::Tree& tree);
 
+// ----------------------------------------------------------------- backoff --
+
+/// Deterministic jitter for an exponential-backoff wait: maps `base` (the
+/// doubled-and-capped wait) into [(base+1)/2, base] using a SplitMix64 draw
+/// over `salt` (callers mix sequence/attempt so retries of different records
+/// decorrelate).  Full-strength retransmit storms after a shared fault are
+/// what the jitter breaks up; halving the wait at most keeps the backoff
+/// exponential in shape.  Pinned by ReplicationTest.JitteredBackoffBounds.
+std::uint64_t JitteredBackoff(std::uint64_t base, std::uint64_t salt);
+
 // ----------------------------------------------------------------- options --
 
+/// Which ReplicationLink implementation the pair speaks over.
+enum class LinkKind : std::uint8_t {
+  kInProcess,  // deque transport, same address space (the default)
+  kSocket      // length-prefixed CRC frames over localhost TCP
+};
+
 struct ReplicationOptions {
+  /// Transport selection.  kSocket builds a SocketLink (socket_link.h); a
+  /// failed socket setup is parked and surfaced by the next Run()/Drain().
+  LinkKind link = LinkKind::kInProcess;
   /// Durability home for the pair.  Non-empty: the primary journals under
   /// `<dir>/primary` and the replica under `<dir>/replica` (the layout
   /// Promote() recovers from).  Empty: both sides run in memory — the link,
@@ -208,9 +228,14 @@ class ReplicaEngine {
   /// serving.  On an unrecoverable local state the promoted engine serves
   /// the live in-memory tree instead and the returned Status says why the
   /// durable path was rejected (ResilientEngine::last_recover_error()).
+  /// A second Promote() on an already-promoted replica is a duplicate
+  /// failover and returns StatusCode::kAlreadyPromoted.
   Status Promote();
 
   bool promoted() const { return promoted_engine_ != nullptr; }
+  /// Heartbeats observed on the link (cluster watchdog feed).
+  std::uint64_t heartbeats_received() const { return heartbeats_received_; }
+  std::uint64_t last_heartbeat_tick() const { return last_heartbeat_tick_; }
   /// The serving engine after a successful Promote().
   ResilientEngine& promoted_engine() { return *promoted_engine_; }
 
@@ -251,6 +276,8 @@ class ReplicaEngine {
   std::size_t records_since_snapshot_ = 0;
   std::uint64_t next_sequence_ = 0;  // next record sequence expected
   std::uint64_t applied_ops_ = 0;
+  std::uint64_t heartbeats_received_ = 0;
+  std::uint64_t last_heartbeat_tick_ = 0;
   bool wedged_ = false;
   std::unique_ptr<ResilientEngine> promoted_engine_;
 };
@@ -286,9 +313,25 @@ class ReplicatedEngine : public IndexEngine {
   bool primary_alive() const { return primary_alive_; }
 
   /// Failover: promote the replica (see ReplicaEngine::Promote) and route
-  /// all subsequent traffic to it.  Also fences the old primary.
+  /// all subsequent traffic to it.  Also fences the old primary.  Before
+  /// promoting, every frame already deliverable on the link is drained into
+  /// the replica, so a promote that lands mid-catch-up replays the
+  /// remaining window instead of abandoning it.  A duplicate Promote()
+  /// returns StatusCode::kAlreadyPromoted without touching the replica.
   Status Promote();
   bool promoted() const { return replica_->promoted(); }
+
+  /// Ship one heartbeat frame (no ack expected).  The cluster watchdog's
+  /// liveness signal: a dead or killed primary stops sending these.
+  void SendHeartbeat();
+  /// One idle pump of the pair's loop — tick the link, give the replica a
+  /// turn, process acks/retransmits — with no new work shipped.  The
+  /// cluster layer calls this between batches to keep heartbeats and
+  /// catch-up flowing on idle shards.
+  void PumpIdle();
+  /// Ticks since the replica last saw a heartbeat (link-now minus
+  /// last-heartbeat-tick; the full current age if none arrived yet).
+  std::uint64_t replica_heartbeat_age() const;
 
   /// The actively serving tree (primary's before failover, the promoted
   /// replica's after).
@@ -357,6 +400,10 @@ class ReplicatedEngine : public IndexEngine {
   // Bootstrap-sync failure parked by Load() (void signature), surfaced by
   // the next Run().
   Status load_status_;
+  // Socket-transport setup failure parked by the constructor (which cannot
+  // return Status); surfaced by the next Run()/Drain() instead of burning
+  // the whole drain tick budget against a link that never existed.
+  Status link_error_;
   bool primary_alive_ = true;
 };
 

@@ -263,6 +263,40 @@ std::vector<std::uint64_t> PrefixHistogram(const Workload& workload) {
   return hist;
 }
 
+std::vector<std::uint8_t> BalancedPrefixBoundaries(
+    const std::vector<std::uint64_t>& histogram, std::size_t shards) {
+  shards = std::max<std::size_t>(1, shards);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < histogram.size() && b < 256; ++b) {
+    total += histogram[b];
+  }
+  std::vector<std::uint8_t> bounds;
+  bounds.push_back(0);
+  if (total == 0) {
+    // Nothing to weigh: uniform byte split (the empty-load bootstrap case).
+    for (std::size_t k = 1; k < shards && k * 256 / shards <= 255; ++k) {
+      const std::size_t b = k * 256 / shards;
+      if (b > bounds.back()) bounds.push_back(static_cast<std::uint8_t>(b));
+    }
+    return bounds;
+  }
+  // Greedy cumulative cuts: boundary k starts where the running weight first
+  // reaches k/shards of the total.  Boundaries must strictly increase, so a
+  // single scorching byte simply absorbs several targets into one shard.
+  std::uint64_t cum = 0;
+  std::size_t next_cut = 1;
+  for (std::size_t b = 0; b < histogram.size() && b < 256; ++b) {
+    cum += histogram[b];
+    while (next_cut < shards && cum * shards >= total * next_cut) {
+      ++next_cut;
+      if (b + 1 <= 255 && b + 1 > bounds.back()) {
+        bounds.push_back(static_cast<std::uint8_t>(b + 1));
+      }
+    }
+  }
+  return bounds;
+}
+
 double HotKeyFraction(const Workload& workload, double coverage) {
   std::unordered_map<std::uint64_t, std::uint64_t> counts;
   counts.reserve(workload.ops.size());

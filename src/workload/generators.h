@@ -67,6 +67,15 @@ std::vector<MixPoint> PaperMixes();
 /// Fig. 3 statistic: operation counts per first key byte (prefix 0x00-0xFF).
 std::vector<std::uint64_t> PrefixHistogram(const Workload& workload);
 
+/// Shard boundary planner for the cluster engine: lower bounds (first
+/// entry always 0x00) of `shards` contiguous first-byte ranges that split
+/// `histogram` (counts per first key byte; size 256, e.g. PrefixHistogram's
+/// output) into near-equal weight.  Fewer than `shards` boundaries come
+/// back when the histogram has too few distinct non-empty bytes to cut any
+/// finer; an all-zero histogram falls back to a uniform byte split.
+std::vector<std::uint8_t> BalancedPrefixBoundaries(
+    const std::vector<std::uint64_t>& histogram, std::size_t shards);
+
 /// Fig. 3 headline: smallest fraction of distinct keys receiving `coverage`
 /// (e.g. 0.9665) of all operations.
 double HotKeyFraction(const Workload& workload, double coverage);

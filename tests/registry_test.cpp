@@ -46,7 +46,8 @@ TEST(Registry, OnlyWallclockEnginesReportWallclock) {
     engine->Load(w.load_items);
     const ExecutionResult r = engine->Run(w.ops, RunConfig{});
     EXPECT_EQ(r.wallclock, name == "DCART-CP" || name == "DCART-CP-FT" ||
-                               name == "DCART-CP-HA");
+                               name == "DCART-CP-HA" ||
+                               name == "DCART-CLUSTER");
   }
 }
 

@@ -10,8 +10,15 @@
 //     serve exactly the serial replay of the HA-acknowledged prefix: no
 //     acknowledged operation lost, no unacknowledged operation invented.
 //
+// The whole suite is parameterized over the link transport: every property
+// runs once over the in-process link and once over the TCP socket twin
+// (resilience/socket_link.h), which must honor the same fault matrix.  The
+// socket-only net-* sites (partial read/write, connect timeout) get their
+// own convergence sweep.
+//
 // Seeds come from DCART_FAULT_SEED (the CI chaos matrix sweeps several).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,7 @@ namespace fs = std::filesystem;
 using resilience::FaultInjector;
 using resilience::FaultPlan;
 using resilience::FaultSite;
+using resilience::LinkKind;
 using resilience::ReplicatedEngine;
 using resilience::ReplicationOptions;
 
@@ -42,15 +50,25 @@ std::uint64_t EnvSeed() {
 
 constexpr std::size_t kBatch = 128;
 
-class ReplicationPropertyTest : public ::testing::Test {
+class ReplicationPropertyTest : public ::testing::TestWithParam<LinkKind> {
  protected:
   void TearDown() override { FaultInjector::Global().Disarm(); }
 
   std::string FreshDir(const std::string& name) {
-    const std::string dir = ::testing::TempDir() + "/replprop_" + name;
+    // ctest runs each (test, link-kind) variant as its own parallel
+    // process, so scratch paths must be per-process to avoid the two
+    // transports clobbering each other's journals.
+    const std::string dir = ::testing::TempDir() + "/replprop_" + name +
+                            "_" + std::to_string(::getpid());
     fs::remove_all(dir);
     fs::create_directories(dir);
     return dir;
+  }
+
+  /// Apply the transport under test to a base option set.
+  ReplicationOptions WithLink(ReplicationOptions options = {}) const {
+    options.link = GetParam();
+    return options;
   }
 };
 
@@ -62,8 +80,11 @@ std::vector<std::uint8_t> FileBytes(const std::string& path) {
 
 void ExpectTreesByteIdentical(const art::Tree& got, const art::Tree& want,
                               const std::string& tag) {
-  const std::string got_path = ::testing::TempDir() + "/replprop_got_" + tag;
-  const std::string want_path = ::testing::TempDir() + "/replprop_want_" + tag;
+  const std::string pid = std::to_string(::getpid());
+  const std::string got_path =
+      ::testing::TempDir() + "/replprop_got_" + tag + "_" + pid;
+  const std::string want_path =
+      ::testing::TempDir() + "/replprop_want_" + tag + "_" + pid;
   ASSERT_TRUE(art::SaveTree(got, got_path));
   ASSERT_TRUE(art::SaveTree(want, want_path));
   const auto got_bytes = FileBytes(got_path);
@@ -138,11 +159,11 @@ const ChaosSite kChaosSites[] = {
     {FaultSite::kReplTruncate, 0.25, 0},  {FaultSite::kReplDisconnect, 0.0, 3},
 };
 
-TEST_F(ReplicationPropertyTest, EverySingleLinkFaultConverges) {
+TEST_P(ReplicationPropertyTest, EverySingleLinkFaultConverges) {
   const Workload w = ChaosWorkload(1024);
   for (const ChaosSite& chaos : kChaosSites) {
     SCOPED_TRACE(resilience::FaultSiteName(chaos.site));
-    ReplicatedEngine engine(AsyncOptions());
+    ReplicatedEngine engine(WithLink(AsyncOptions()));
     engine.Load(w.load_items);
     FaultPlan plan;
     plan.seed = EnvSeed();
@@ -163,9 +184,9 @@ TEST_F(ReplicationPropertyTest, EverySingleLinkFaultConverges) {
   }
 }
 
-TEST_F(ReplicationPropertyTest, AllLinkFaultsTogetherConverge) {
+TEST_P(ReplicationPropertyTest, AllLinkFaultsTogetherConverge) {
   const Workload w = ChaosWorkload(1024);
-  ReplicatedEngine engine(AsyncOptions());
+  ReplicatedEngine engine(WithLink(AsyncOptions()));
   engine.Load(w.load_items);
   FaultPlan plan;
   plan.seed = EnvSeed();
@@ -182,12 +203,12 @@ TEST_F(ReplicationPropertyTest, AllLinkFaultsTogetherConverge) {
                            "combined");
 }
 
-TEST_F(ReplicationPropertyTest, ChaosRunSurvivesFailover) {
+TEST_P(ReplicationPropertyTest, ChaosRunSurvivesFailover) {
   // A full lifecycle under combined chaos: converge, lose the primary,
   // promote, and verify the promoted tree equals the serial replay.
   const Workload w = ChaosWorkload(1024);
   const std::string dir = FreshDir("lifecycle");
-  ReplicationOptions options = AsyncOptions();
+  ReplicationOptions options = WithLink(AsyncOptions());
   options.dir = dir;
   ReplicatedEngine engine(options);
   engine.Load(w.load_items);
@@ -210,7 +231,7 @@ TEST_F(ReplicationPropertyTest, ChaosRunSurvivesFailover) {
   fs::remove_all(dir);
 }
 
-TEST_F(ReplicationPropertyTest,
+TEST_P(ReplicationPropertyTest,
        KillPrimaryAtEveryBoundaryPromotedReplicaHoldsAcknowledgedPrefix) {
   const Workload w = ChaosWorkload(1024);  // 8 batches of 128
   const std::size_t batches = (w.ops.size() + kBatch - 1) / kBatch;
@@ -219,7 +240,7 @@ TEST_F(ReplicationPropertyTest,
     SCOPED_TRACE(crash_at);
     const std::string dir = FreshDir("boundary");
 
-    ReplicationOptions options;
+    ReplicationOptions options = WithLink();
     options.dir = dir;
     options.snapshot_every_batches = 3;  // not a divisor of the crash points
     FaultPlan plan;
@@ -259,7 +280,7 @@ TEST_F(ReplicationPropertyTest,
   }
 }
 
-TEST_F(ReplicationPropertyTest,
+TEST_P(ReplicationPropertyTest,
        TornFrameAtEveryRecordThenKillLosesNothingAcknowledged) {
   // Tear the shipped frame at every record position in turn (mid-record
   // truncation on the link) while also killing the primary one batch later:
@@ -273,7 +294,7 @@ TEST_F(ReplicationPropertyTest,
     SCOPED_TRACE(tear_at);
     const std::string dir = FreshDir("torn");
 
-    ReplicationOptions options;
+    ReplicationOptions options = WithLink();
     options.dir = dir;
     FaultPlan plan;
     plan.seed = EnvSeed();
@@ -296,7 +317,7 @@ TEST_F(ReplicationPropertyTest,
   }
 }
 
-TEST_F(ReplicationPropertyTest,
+TEST_P(ReplicationPropertyTest,
        DisconnectAtEveryRecordThenKillLosesNothingAcknowledged) {
   // Same sweep with the harsher fault: the link tears down completely at
   // every record position in turn, forcing a backoff/reconnect cycle right
@@ -308,7 +329,7 @@ TEST_F(ReplicationPropertyTest,
     SCOPED_TRACE(drop_at);
     const std::string dir = FreshDir("disc");
 
-    ReplicationOptions options;
+    ReplicationOptions options = WithLink();
     options.dir = dir;
     FaultPlan plan;
     plan.seed = EnvSeed();
@@ -330,6 +351,71 @@ TEST_F(ReplicationPropertyTest,
     fs::remove_all(dir);
   }
 }
+
+TEST_P(ReplicationPropertyTest, EveryNetFaultConverges) {
+  // The net-* sites only exist on the wire: partial send, dribbling recv,
+  // refused redial.  Alone and combined (and stacked on the repl-* chaos
+  // matrix) the pair must still converge with zero acknowledged-op loss.
+  if (GetParam() != LinkKind::kSocket) {
+    GTEST_SKIP() << "net-* sites are socket-transport faults";
+  }
+  const ChaosSite kNetSites[] = {
+      {FaultSite::kNetPartialWrite, 0.0, 2},
+      {FaultSite::kNetPartialRead, 0.3, 0},
+      {FaultSite::kNetConnectTimeout, 0.0, 0},  // armed with disconnect below
+  };
+  const Workload w = ChaosWorkload(1024);
+  for (const ChaosSite& chaos : kNetSites) {
+    SCOPED_TRACE(resilience::FaultSiteName(chaos.site));
+    ReplicatedEngine engine(WithLink(AsyncOptions()));
+    engine.Load(w.load_items);
+    FaultPlan plan;
+    plan.seed = EnvSeed();
+    if (chaos.site == FaultSite::kNetConnectTimeout) {
+      // A redial only happens after a tear; pair the timeout with one.
+      plan.TriggerAt(FaultSite::kReplDisconnect) = 2;
+      plan.TriggerAt(chaos.site) = 1;
+    } else if (chaos.probability > 0.0) {
+      plan.Probability(chaos.site) = chaos.probability;
+    } else {
+      plan.TriggerAt(chaos.site) = chaos.trigger_at;
+    }
+    const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+    FaultInjector::Global().Disarm();
+    ASSERT_TRUE(r.status.ok()) << r.status.message();
+    EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+    EXPECT_GT(FaultInjector::Global().fires(chaos.site), 0u)
+        << "fault site never fired; the test exercised nothing";
+    ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                             resilience::FaultSiteName(chaos.site));
+  }
+
+  // Everything at once: wire faults on top of the full repl-* chaos matrix.
+  ReplicatedEngine engine(WithLink(AsyncOptions()));
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  for (const ChaosSite& chaos : kChaosSites) {
+    plan.Probability(chaos.site) =
+        chaos.probability > 0.0 ? chaos.probability / 2.0 : 0.03;
+  }
+  plan.Probability(FaultSite::kNetPartialRead) = 0.1;
+  plan.Probability(FaultSite::kNetPartialWrite) = 0.05;
+  plan.Probability(FaultSite::kNetConnectTimeout) = 0.1;
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  FaultInjector::Global().Disarm();
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "net_combined");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Links, ReplicationPropertyTest,
+    ::testing::Values(LinkKind::kInProcess, LinkKind::kSocket),
+    [](const ::testing::TestParamInfo<LinkKind>& info) {
+      return info.param == LinkKind::kSocket ? "Socket" : "InProcess";
+    });
 
 }  // namespace
 }  // namespace dcart

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -350,6 +351,151 @@ TEST_F(ReplicationTest, RegistryBuildsHaEngine) {
   // test sweeps all names; this pins the HA-specific surface).
   ReplicatedEngine engine;
   EXPECT_EQ(engine.name(), "DCART-CP-HA");
+}
+
+// --- backoff jitter --------------------------------------------------------
+
+TEST_F(ReplicationTest, JitteredBackoffBounds) {
+  // Pins the contract documented in replication.h: the jittered wait stays
+  // in [(base+1)/2, base], is deterministic in (base, salt), and actually
+  // varies with the salt (the de-synchronization that motivates jitter).
+  using resilience::JitteredBackoff;
+  for (const std::uint64_t base : {2ull, 3ull, 7ull, 8ull, 64ull, 1024ull}) {
+    for (std::uint64_t salt = 0; salt < 64; ++salt) {
+      const std::uint64_t wait = JitteredBackoff(base, salt);
+      EXPECT_GE(wait, (base + 1) / 2) << "base=" << base << " salt=" << salt;
+      EXPECT_LE(wait, base) << "base=" << base << " salt=" << salt;
+      EXPECT_EQ(wait, JitteredBackoff(base, salt)) << "not deterministic";
+    }
+  }
+  // Degenerate bases pass through unchanged (no division tricks on 0/1).
+  EXPECT_EQ(JitteredBackoff(0, 7), 0u);
+  EXPECT_EQ(JitteredBackoff(1, 7), 1u);
+  std::set<std::uint64_t> distinct;
+  for (std::uint64_t salt = 0; salt < 32; ++salt) {
+    distinct.insert(JitteredBackoff(1024, salt));
+  }
+  EXPECT_GT(distinct.size(), 8u) << "jitter is collapsing to few values";
+}
+
+// --- failover edge cases (ISSUE satellite) ---------------------------------
+
+TEST_F(ReplicationTest, DoublePromoteReturnsTypedStatus) {
+  const Workload w = ReplicationWorkload(256);
+  ReplicatedEngine engine;
+  engine.Load(w.load_items);
+  ASSERT_TRUE(engine.Run(w.ops, HaRun()).status.ok());
+  engine.KillPrimary();
+  ASSERT_TRUE(engine.Promote().ok());
+
+  const Status again = engine.Promote();
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyPromoted);
+  EXPECT_NE(again.message().find("already promoted"), std::string::npos)
+      << again.message();
+  // The duplicate attempt must not disturb the serving engine.
+  EXPECT_TRUE(engine.promoted());
+  EXPECT_TRUE(engine.Run(w.ops, HaRun()).status.ok());
+}
+
+TEST_F(ReplicationTest, PromoteDuringCatchUpReplaysRemainingWindow) {
+  // Async shipping + a primary crash right at a batch boundary leaves a
+  // shipped-but-undelivered record in the link when Promote() is called.
+  // Promotion must drain that catch-up window before serving, or the
+  // promoted replica silently forgets the shipped tail.
+  const Workload w = ReplicationWorkload(256);  // exactly 2 batches of 128
+  ReplicationOptions options;
+  options.drain_every_batch = false;
+  options.window = 4;
+  ReplicatedEngine engine(options);
+  engine.Load(w.load_items);
+
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  plan.TriggerAt(FaultSite::kCrashAtBatchBoundary) = 2;
+  const ExecutionResult crashed = engine.Run(w.ops, HaRun(plan));
+  ASSERT_FALSE(crashed.status.ok());  // the crash fired
+  FaultInjector::Global().Disarm();
+
+  // Mid-catch-up: batch 1's record is shipped but still in flight (the
+  // async path does not pump, and the crashed Run never drained).
+  ASSERT_EQ(engine.records_shipped(), 1u);
+  ASSERT_LT(engine.replica().applied_records(), engine.records_shipped());
+
+  const Status promoted = engine.Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.message();
+  EXPECT_EQ(engine.replica().applied_records(), engine.records_shipped());
+  // The promoted tree carries batch 1: byte-identical to what the primary
+  // had applied before dying.
+  ExpectTreesByteIdentical(engine.tree(), engine.primary().tree(), "catchup");
+}
+
+// --- socket link (resilience/socket_link.h) --------------------------------
+
+ReplicationOptions SocketOptions() {
+  ReplicationOptions options;
+  options.link = resilience::LinkKind::kSocket;
+  return options;
+}
+
+TEST_F(ReplicationTest, SocketPairConvergesByteIdentical) {
+  const Workload w = ReplicationWorkload(512);
+  ReplicatedEngine engine(SocketOptions());
+  engine.Load(w.load_items);
+  const ExecutionResult r = engine.Run(w.ops, HaRun());
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "sock_clean");
+}
+
+TEST_F(ReplicationTest, SocketPartialWriteTearsAndRecovers) {
+  const Workload w = ReplicationWorkload(512);
+  const std::uint64_t reconnects_before =
+      CounterValue("replication.reconnects");
+  ReplicatedEngine engine(SocketOptions());
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  plan.TriggerAt(FaultSite::kNetPartialWrite) = 2;  // torn mid-frame on wire
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  EXPECT_GT(CounterValue("replication.reconnects"), reconnects_before);
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "sock_partial_write");
+}
+
+TEST_F(ReplicationTest, SocketPartialReadsReassembleFrames) {
+  const Workload w = ReplicationWorkload(512);
+  ReplicatedEngine engine(SocketOptions());
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  plan.Probability(FaultSite::kNetPartialRead) = 0.3;  // dribbling recv()s
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "sock_partial_read");
+}
+
+TEST_F(ReplicationTest, SocketConnectTimeoutRetriesReconnect) {
+  const Workload w = ReplicationWorkload(512);
+  const std::uint64_t reconnects_before =
+      CounterValue("replication.reconnects");
+  ReplicatedEngine engine(SocketOptions());
+  engine.Load(w.load_items);
+  FaultPlan plan;
+  plan.seed = EnvSeed();
+  plan.TriggerAt(FaultSite::kReplDisconnect) = 2;   // tear the link...
+  plan.TriggerAt(FaultSite::kNetConnectTimeout) = 1;  // ...1st redial fails
+  const ExecutionResult r = engine.Run(w.ops, HaRun(plan));
+  ASSERT_TRUE(r.status.ok()) << r.status.message();
+  EXPECT_EQ(r.ops_acknowledged, w.ops.size());
+  EXPECT_GT(CounterValue("replication.reconnects"), reconnects_before);
+  ExpectTreesByteIdentical(engine.replica().tree(), engine.primary().tree(),
+                           "sock_connect_timeout");
 }
 
 }  // namespace
