@@ -17,16 +17,17 @@ int Main(const CliFlags& flags) {
 
   PrintBanner("ART memory footprint per workload (adaptive node mix)");
   const WorkloadConfig cfg = ConfigFromFlags(flags);
-  Table table({"workload", "keys", "N4", "N16", "N48", "N256", "height",
-               "MB total"});
+  Table table({"workload", "keys", "N4", "N16", "N32", "N48", "N256",
+               "height", "MB total"});
   for (WorkloadKind kind : AllWorkloads()) {
     const Workload w = MakeWorkload(kind, cfg);
     art::Tree tree;
     for (const auto& [k, v] : w.load_items) tree.Insert(k, v);
     const art::MemoryStats ms = tree.ComputeMemoryStats();
     table.AddRow({w.name, std::to_string(tree.size()), std::to_string(ms.n4),
-                  std::to_string(ms.n16), std::to_string(ms.n48),
-                  std::to_string(ms.n256), std::to_string(tree.Height()),
+                  std::to_string(ms.n16), std::to_string(ms.n32),
+                  std::to_string(ms.n48), std::to_string(ms.n256),
+                  std::to_string(tree.Height()),
                   FormatDouble(static_cast<double>(ms.TotalBytes()) / 1e6,
                                2)});
   }

@@ -2,16 +2,20 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
+
 namespace dcart::art {
 
 namespace {
 
 const Node4* AsN4(const Node* n) { return static_cast<const Node4*>(n); }
 const Node16* AsN16(const Node* n) { return static_cast<const Node16*>(n); }
+const Node32* AsN32(const Node* n) { return static_cast<const Node32*>(n); }
 const Node48* AsN48(const Node* n) { return static_cast<const Node48*>(n); }
 const Node256* AsN256(const Node* n) { return static_cast<const Node256*>(n); }
 Node4* AsN4(Node* n) { return static_cast<Node4*>(n); }
 Node16* AsN16(Node* n) { return static_cast<Node16*>(n); }
+Node32* AsN32(Node* n) { return static_cast<Node32*>(n); }
 Node48* AsN48(Node* n) { return static_cast<Node48*>(n); }
 Node256* AsN256(Node* n) { return static_cast<Node256*>(n); }
 
@@ -34,10 +38,13 @@ NodeRef FindChild(const Node* node, std::uint8_t b) {
     }
     case NodeType::kN16: {
       const auto* n = AsN16(node);
-      for (std::uint16_t i = 0; i < n->count; ++i) {
-        if (n->keys[i] == b) return n->children[i];
-      }
-      return {};
+      const int i = simd::FindKeyByte16(n->keys.data(), n->count, b);
+      return i < 0 ? NodeRef{} : n->children[static_cast<std::size_t>(i)];
+    }
+    case NodeType::kN32: {
+      const auto* n = AsN32(node);
+      const int i = simd::FindKeyByte32(n->keys.data(), n->count, b);
+      return i < 0 ? NodeRef{} : n->children[static_cast<std::size_t>(i)];
     }
     case NodeType::kN48: {
       const auto* n = AsN48(node);
@@ -61,10 +68,13 @@ NodeRef* FindChildSlot(Node* node, std::uint8_t b) {
     }
     case NodeType::kN16: {
       auto* n = AsN16(node);
-      for (std::uint16_t i = 0; i < n->count; ++i) {
-        if (n->keys[i] == b) return &n->children[i];
-      }
-      return nullptr;
+      const int i = simd::FindKeyByte16(n->keys.data(), n->count, b);
+      return i < 0 ? nullptr : &n->children[static_cast<std::size_t>(i)];
+    }
+    case NodeType::kN32: {
+      auto* n = AsN32(node);
+      const int i = simd::FindKeyByte32(n->keys.data(), n->count, b);
+      return i < 0 ? nullptr : &n->children[static_cast<std::size_t>(i)];
     }
     case NodeType::kN48: {
       auto* n = AsN48(node);
@@ -85,6 +95,8 @@ bool IsFull(const Node* node) {
       return node->count >= 4;
     case NodeType::kN16:
       return node->count >= 16;
+    case NodeType::kN32:
+      return node->count >= 32;
     case NodeType::kN48:
       return node->count >= 48;
     case NodeType::kN256:
@@ -120,13 +132,25 @@ void AddChild(Node* node, std::uint8_t b, NodeRef child) {
       n->children[pos] = child;
       break;
     }
+    case NodeType::kN32: {
+      auto* n = AsN32(node);
+      std::uint16_t pos = 0;
+      while (pos < n->count && n->keys[pos] < b) ++pos;
+      for (std::uint16_t i = n->count; i > pos; --i) {
+        n->keys[i] = n->keys[i - 1];
+        n->children[i] = n->children[i - 1];
+      }
+      n->keys[pos] = b;
+      n->children[pos] = child;
+      break;
+    }
     case NodeType::kN48: {
       auto* n = AsN48(node);
       assert(n->child_index[b] == Node48::kEmptySlot);
-      // First free slot; count is not an index because removals leave holes
-      // compacted below, so count is in fact the first free slot.
-      std::uint8_t slot = 0;
-      while (!n->children[slot].IsNull()) ++slot;
+      // Removals compact (RemoveChild moves the last slot into the hole), so
+      // slots 0..count-1 are dense and count is the first free slot.
+      const auto slot = static_cast<std::uint8_t>(n->count);
+      assert(n->children[slot].IsNull());
       n->children[slot] = child;
       n->child_index[b] = slot;
       break;
@@ -167,12 +191,36 @@ void RemoveChild(Node* node, std::uint8_t b) {
       n->children[n->count - 1] = {};
       break;
     }
+    case NodeType::kN32: {
+      auto* n = AsN32(node);
+      std::uint16_t pos = 0;
+      while (pos < n->count && n->keys[pos] != b) ++pos;
+      assert(pos < n->count);
+      for (std::uint16_t i = pos; i + 1 < n->count; ++i) {
+        n->keys[i] = n->keys[i + 1];
+        n->children[i] = n->children[i + 1];
+      }
+      n->children[n->count - 1] = {};
+      break;
+    }
     case NodeType::kN48: {
       auto* n = AsN48(node);
       const std::uint8_t slot = n->child_index[b];
       assert(slot != Node48::kEmptySlot);
-      n->children[slot] = {};
       n->child_index[b] = Node48::kEmptySlot;
+      // Keep slots 0..count-1 dense (AddChild relies on it): move the last
+      // occupied slot into the hole and repoint its index entry.
+      const auto last = static_cast<std::uint8_t>(n->count - 1);
+      if (slot != last) {
+        n->children[slot] = n->children[last];
+        for (int bi = 0; bi < 256; ++bi) {
+          if (n->child_index[bi] == last) {
+            n->child_index[bi] = slot;
+            break;
+          }
+        }
+      }
+      n->children[last] = {};
       break;
     }
     case NodeType::kN256: {
@@ -200,6 +248,17 @@ Node* Grown(const Node* node) {
     }
     case NodeType::kN16: {
       const auto* src = AsN16(node);
+      auto* dst = new Node32;
+      CopyHeader(dst, src);
+      for (std::uint16_t i = 0; i < src->count; ++i) {
+        dst->keys[i] = src->keys[i];
+        dst->children[i] = src->children[i];
+      }
+      dst->count = src->count;
+      return dst;
+    }
+    case NodeType::kN32: {
+      const auto* src = AsN32(node);
       auto* dst = new Node48;
       CopyHeader(dst, src);
       for (std::uint16_t i = 0; i < src->count; ++i) {
@@ -235,8 +294,10 @@ bool IsUnderfull(const Node* node) {
       return false;
     case NodeType::kN16:
       return node->count <= 3;
-    case NodeType::kN48:
+    case NodeType::kN32:
       return node->count <= 12;
+    case NodeType::kN48:
+      return node->count <= 24;
     case NodeType::kN256:
       return node->count <= 37;
   }
@@ -257,9 +318,20 @@ Node* Shrunk(const Node* node) {
       dst->count = src->count;
       return dst;
     }
+    case NodeType::kN32: {
+      const auto* src = AsN32(node);
+      auto* dst = new Node16;
+      CopyHeader(dst, src);
+      for (std::uint16_t i = 0; i < src->count; ++i) {
+        dst->keys[i] = src->keys[i];
+        dst->children[i] = src->children[i];
+      }
+      dst->count = src->count;
+      return dst;
+    }
     case NodeType::kN48: {
       const auto* src = AsN48(node);
-      auto* dst = new Node16;
+      auto* dst = new Node32;
       CopyHeader(dst, src);
       std::uint16_t out = 0;
       for (int b = 0; b < 256; ++b) {
@@ -307,6 +379,13 @@ bool EnumerateChildren(const Node* node,
     }
     case NodeType::kN16: {
       const auto* n = AsN16(node);
+      for (std::uint16_t i = 0; i < n->count; ++i) {
+        if (!fn(n->keys[i], n->children[i])) return false;
+      }
+      return true;
+    }
+    case NodeType::kN32: {
+      const auto* n = AsN32(node);
       for (std::uint16_t i = 0; i < n->count; ++i) {
         if (!fn(n->keys[i], n->children[i])) return false;
       }
@@ -385,6 +464,8 @@ std::size_t NodeSizeBytes(NodeType type) {
       return sizeof(Node4);
     case NodeType::kN16:
       return sizeof(Node16);
+    case NodeType::kN32:
+      return sizeof(Node32);
     case NodeType::kN48:
       return sizeof(Node48);
     case NodeType::kN256:
@@ -404,6 +485,9 @@ void DeleteNode(Node* node) {
       break;
     case NodeType::kN16:
       delete static_cast<Node16*>(node);
+      break;
+    case NodeType::kN32:
+      delete static_cast<Node32*>(node);
       break;
     case NodeType::kN48:
       delete static_cast<Node48*>(node);
@@ -434,6 +518,8 @@ const char* NodeTypeName(NodeType type) {
       return "N4";
     case NodeType::kN16:
       return "N16";
+    case NodeType::kN32:
+      return "N32";
     case NodeType::kN48:
       return "N48";
     case NodeType::kN256:

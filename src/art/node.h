@@ -1,8 +1,11 @@
 // Adaptive Radix Tree node structures (Leis et al., ICDE 2013).
 //
-// Four internal node sizes (N4 / N16 / N48 / N256) adapt to the fanout
-// actually present, and a compressed path ("prefix") removes chains of
-// single-child nodes.  Values live in single-value leaves that store the
+// Five internal node sizes (N4 / N16 / N32 / N48 / N256) adapt to the
+// fanout actually present, and a compressed path ("prefix") removes chains
+// of single-child nodes.  N32 extends the paper's ladder with a node sized
+// for one 256-bit vector: its key search is a single AVX2
+// compare-and-movemask (two SSE2 halves otherwise), so fanouts 17..32 pay
+// one probe where an N48 indirection or a scalar scan used to sit.  Values live in single-value leaves that store the
 // complete key, which lets lookups verify optimistically-skipped prefix
 // bytes at the end of the descent.
 //
@@ -34,7 +37,14 @@ struct Leaf {
   Value value;
 };
 
-enum class NodeType : std::uint8_t { kN4 = 0, kN16 = 1, kN48 = 2, kN256 = 3 };
+enum class NodeType : std::uint8_t {
+  kN4 = 0,
+  kN16 = 1,
+  kN48 = 2,
+  kN256 = 3,
+  kN32 = 4,  // appended (serialized format stability); ladder order is
+             // N4 < N16 < N32 < N48 < N256
+};
 
 struct Node;
 
@@ -97,6 +107,12 @@ struct Node16 : Node {
   std::array<NodeRef, 16> children{};
 };
 
+struct Node32 : Node {
+  Node32() : Node(NodeType::kN32) {}
+  std::array<std::uint8_t, 32> keys{};
+  std::array<NodeRef, 32> children{};
+};
+
 struct Node48 : Node {
   static constexpr std::uint8_t kEmptySlot = 0xff;
   Node48() : Node(NodeType::kN48) { child_index.fill(kEmptySlot); }
@@ -134,8 +150,9 @@ void RemoveChild(Node* node, std::uint8_t b);
 Node* Grown(const Node* node);
 
 /// True when the node would fit in the next-smaller type with hysteresis
-/// (N16 at <=3 children, N48 at <=12, N256 at <=37).  N4 never shrinks this
-/// way; a 1-child N4 is merged with its child by the tree instead.
+/// (N16 at <=3 children, N32 at <=12, N48 at <=24, N256 at <=37).  N4 never
+/// shrinks this way; a 1-child N4 is merged with its child by the tree
+/// instead.
 bool IsUnderfull(const Node* node);
 
 /// Allocate the next-smaller node type with the same header and children.

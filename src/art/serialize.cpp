@@ -12,7 +12,14 @@ namespace dcart::art {
 
 namespace {
 
-constexpr char kMagic[8] = {'D', 'C', 'A', 'R', 'T', 'S', 'N', '1'};
+// SN2 is the current format: same layout as SN1, bumped when Node32 joined
+// the node ladder (snapshots are canonical per ladder, so two releases with
+// different ladders produce different — though mutually loadable — bytes).
+// SN1 files remain readable: the payload is a sorted (key, value) stream
+// with no node-type information, so the loader just rebuilds with the
+// current ladder.
+constexpr char kMagic[8] = {'D', 'C', 'A', 'R', 'T', 'S', 'N', '2'};
+constexpr char kMagicV1[8] = {'D', 'C', 'A', 'R', 'T', 'S', 'N', '1'};
 // Smallest possible serialized entry: u32 key_len + 1 key byte + u64 value.
 constexpr std::uint64_t kMinEntryBytes = 4 + 1 + 8;
 
@@ -93,7 +100,8 @@ bool LoadTree(const std::string& path, Tree& out) {
   if (!f) return false;
   char magic[sizeof kMagic];
   if (!ReadBytes(f.get(), magic, sizeof magic) ||
-      std::memcmp(magic, kMagic, sizeof magic) != 0) {
+      (std::memcmp(magic, kMagic, sizeof magic) != 0 &&
+       std::memcmp(magic, kMagicV1, sizeof magic) != 0)) {
     return false;
   }
   std::uint64_t count = 0;

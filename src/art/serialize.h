@@ -6,8 +6,13 @@
 // insertion order.
 //
 // Format (little-endian):
-//   magic "DCARTSN1"
+//   magic "DCARTSN2"
 //   u64 count, then per entry: u32 key_len, key bytes, u64 value
+//
+// SN2 == SN1 byte-for-byte after the magic; the version was bumped when
+// Node32 joined the adaptive ladder so snapshot canonicality is scoped to
+// one ladder generation.  LoadTree accepts both magics (the stream carries
+// no node types, so a pre-Node32 file rebuilds with the current ladder).
 #pragma once
 
 #include <string>

@@ -16,7 +16,8 @@ Leaf* NewLeaf(KeyView key, Value value) {
 
 std::string MemoryStats::ToString() const {
   std::ostringstream os;
-  os << "N4=" << n4 << " N16=" << n16 << " N48=" << n48 << " N256=" << n256
+  os << "N4=" << n4 << " N16=" << n16 << " N32=" << n32 << " N48=" << n48
+     << " N256=" << n256
      << " leaves=" << leaves << " internal_bytes=" << internal_bytes
      << " leaf_bytes=" << leaf_bytes;
   return os.str();
@@ -437,6 +438,8 @@ NodeRef BuildSorted(std::span<const std::pair<Key, Value>> items,
     node = new Node4;
   } else if (children.size() <= 16) {
     node = new Node16;
+  } else if (children.size() <= 32) {
+    node = new Node32;
   } else if (children.size() <= 48) {
     node = new Node48;
   } else {
@@ -499,6 +502,9 @@ void AccumulateMemory(NodeRef ref, MemoryStats& stats) {
       break;
     case NodeType::kN16:
       ++stats.n16;
+      break;
+    case NodeType::kN32:
+      ++stats.n32;
       break;
     case NodeType::kN48:
       ++stats.n48;

@@ -25,10 +25,10 @@ namespace dcart::art {
 
 /// Per-node-type population counts and byte totals.
 struct MemoryStats {
-  std::size_t n4 = 0, n16 = 0, n48 = 0, n256 = 0, leaves = 0;
+  std::size_t n4 = 0, n16 = 0, n32 = 0, n48 = 0, n256 = 0, leaves = 0;
   std::size_t internal_bytes = 0;
   std::size_t leaf_bytes = 0;
-  std::size_t TotalNodes() const { return n4 + n16 + n48 + n256; }
+  std::size_t TotalNodes() const { return n4 + n16 + n32 + n48 + n256; }
   std::size_t TotalBytes() const { return internal_bytes + leaf_bytes; }
   std::string ToString() const;
 };

@@ -50,8 +50,12 @@ CLeaf* CMinimumOrRestart(CRef ref, bool& need_restart) {
 unsigned ApproxScanCost(const CNode* node) {
   switch (node->type) {
     case sync::NodeType::kN4:
-    case sync::NodeType::kN16:
       return std::max<unsigned>(1, RelaxedLoad(node->count) / 2);
+    case sync::NodeType::kN16:
+    case sync::NodeType::kN32:
+      // One vectorized compare-and-movemask on the modeled platform (SSE2 /
+      // AVX2 — see common/simd.h), same as the N48/N256 direct index.
+      return 1;
     case sync::NodeType::kN48:
     case sync::NodeType::kN256:
       return 1;

@@ -4,12 +4,32 @@
 #include <cassert>
 #include <functional>
 
+#include "common/simd.h"
+
 namespace dcart::baselines {
 
 using namespace rowex;
 using sync::SyncStats;
 
 namespace {
+
+#if DCART_SIMD_X86
+// The vector search reads the atomic key bytes through a plain pointer:
+// std::atomic<uint8_t> is byte-sized here (checked below), entries below
+// `count` are frozen once published (ROWEX appends, never moves), and the
+// acquire load of `count` orders their publication.  Compiled out under
+// TSan, where a plain vector load over atomics is a formal race — see
+// common/simd.h.
+static_assert(sizeof(std::atomic<std::uint8_t>) == 1 &&
+                  alignof(std::atomic<std::uint8_t>) == 1,
+              "vector key search requires byte-sized atomic keys");
+
+template <std::size_t N>
+const std::uint8_t* KeyBytes(
+    const std::array<std::atomic<std::uint8_t>, N>& keys) {
+  return reinterpret_cast<const std::uint8_t*>(keys.data());
+}
+#endif
 
 // ---------------------------------------------------------------------------
 // Node operations.  Readers are lock-free: append-publication order (child
@@ -32,12 +52,34 @@ RRef RFindChild(const RNode* node, std::uint8_t b) {
     case NodeType::kN16: {
       const auto* n = static_cast<const RNode16*>(node);
       const std::uint16_t count = n->count.load(std::memory_order_acquire);
+#if DCART_SIMD_X86
+      const int i = simd::FindKeyByte16(KeyBytes(n->keys), count, b);
+      return i < 0 ? RRef{}
+                   : LoadSlot(n->children[static_cast<std::size_t>(i)]);
+#else
       for (std::uint16_t i = 0; i < count && i < 16; ++i) {
         if (n->keys[i].load(std::memory_order_acquire) == b) {
           return LoadSlot(n->children[i]);
         }
       }
       return {};
+#endif
+    }
+    case NodeType::kN32: {
+      const auto* n = static_cast<const RNode32*>(node);
+      const std::uint16_t count = n->count.load(std::memory_order_acquire);
+#if DCART_SIMD_X86
+      const int i = simd::FindKeyByte32(KeyBytes(n->keys), count, b);
+      return i < 0 ? RRef{}
+                   : LoadSlot(n->children[static_cast<std::size_t>(i)]);
+#else
+      for (std::uint16_t i = 0; i < count && i < 32; ++i) {
+        if (n->keys[i].load(std::memory_order_acquire) == b) {
+          return LoadSlot(n->children[i]);
+        }
+      }
+      return {};
+#endif
     }
     case NodeType::kN48: {
       const auto* n = static_cast<const RNode48*>(node);
@@ -68,12 +110,32 @@ RSlot* RFindSlot(RNode* node, std::uint8_t b) {
     case NodeType::kN16: {
       auto* n = static_cast<RNode16*>(node);
       const std::uint16_t count = n->count.load(std::memory_order_relaxed);
+#if DCART_SIMD_X86
+      const int i = simd::FindKeyByte16(KeyBytes(n->keys), count, b);
+      return i < 0 ? nullptr : &n->children[static_cast<std::size_t>(i)];
+#else
       for (std::uint16_t i = 0; i < count; ++i) {
         if (n->keys[i].load(std::memory_order_relaxed) == b) {
           return &n->children[i];
         }
       }
       return nullptr;
+#endif
+    }
+    case NodeType::kN32: {
+      auto* n = static_cast<RNode32*>(node);
+      const std::uint16_t count = n->count.load(std::memory_order_relaxed);
+#if DCART_SIMD_X86
+      const int i = simd::FindKeyByte32(KeyBytes(n->keys), count, b);
+      return i < 0 ? nullptr : &n->children[static_cast<std::size_t>(i)];
+#else
+      for (std::uint16_t i = 0; i < count; ++i) {
+        if (n->keys[i].load(std::memory_order_relaxed) == b) {
+          return &n->children[i];
+        }
+      }
+      return nullptr;
+#endif
     }
     case NodeType::kN48: {
       auto* n = static_cast<RNode48*>(node);
@@ -96,6 +158,8 @@ bool RIsFull(const RNode* node) {
       return count >= 4;
     case NodeType::kN16:
       return count >= 16;
+    case NodeType::kN32:
+      return count >= 32;
     case NodeType::kN48:
       return count >= 48;
     case NodeType::kN256:
@@ -123,10 +187,17 @@ void RAddChild(RNode* node, std::uint8_t b, RRef child)
       n->keys[count].store(b, std::memory_order_release);
       break;
     }
+    case NodeType::kN32: {
+      auto* n = static_cast<RNode32*>(node);
+      StoreSlot(n->children[count], child);
+      n->keys[count].store(b, std::memory_order_release);
+      break;
+    }
     case NodeType::kN48: {
+      // Append-only (ROWEX never removes), so count is the first free slot.
       auto* n = static_cast<RNode48*>(node);
-      std::uint8_t slot = 0;
-      while (!LoadSlot(n->children[slot]).IsNull()) ++slot;
+      const auto slot = static_cast<std::uint8_t>(count);
+      assert(LoadSlot(n->children[slot]).IsNull());
       StoreSlot(n->children[slot], child);
       n->child_index[b].store(slot, std::memory_order_release);
       break;
@@ -155,6 +226,17 @@ bool REnumerate(const RNode* node,
     }
     case NodeType::kN16: {
       const auto* n = static_cast<const RNode16*>(node);
+      const std::uint16_t count = n->count.load(std::memory_order_acquire);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        if (!fn(n->keys[i].load(std::memory_order_acquire),
+                LoadSlot(n->children[i]))) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case NodeType::kN32: {
+      const auto* n = static_cast<const RNode32*>(node);
       const std::uint16_t count = n->count.load(std::memory_order_acquire);
       for (std::uint16_t i = 0; i < count; ++i) {
         if (!fn(n->keys[i].load(std::memory_order_acquire),
@@ -198,8 +280,12 @@ unsigned RApproxScan(const RNode* node) {
   const std::uint16_t count = node->count.load(std::memory_order_relaxed);
   switch (node->type) {
     case NodeType::kN4:
-    case NodeType::kN16:
       return std::max<unsigned>(1, count / 2);
+    case NodeType::kN16:
+    case NodeType::kN32:
+      // One vectorized compare-and-movemask on the modeled platform (SSE2 /
+      // AVX2 — see common/simd.h), same as the N48/N256 direct index.
+      return 1;
     case NodeType::kN48:
     case NodeType::kN256:
       return 1;
@@ -231,6 +317,9 @@ RNode* RGrown(const RNode* node) {
       bigger = new RNode16;
       break;
     case NodeType::kN16:
+      bigger = new RNode32;
+      break;
+    case NodeType::kN32:
       bigger = new RNode48;
       break;
     case NodeType::kN48:
@@ -258,6 +347,9 @@ void RDeleteNode(RNode* node) {
       break;
     case NodeType::kN16:
       delete static_cast<RNode16*>(node);
+      break;
+    case NodeType::kN32:
+      delete static_cast<RNode32*>(node);
       break;
     case NodeType::kN48:
       delete static_cast<RNode48*>(node);

@@ -150,6 +150,11 @@ struct RNode16 : RNode {
   std::array<std::atomic<std::uint8_t>, 16> keys{};
   std::array<RSlot, 16> children{};
 };
+struct RNode32 : RNode {
+  RNode32() : RNode(NodeType::kN32) {}
+  std::array<std::atomic<std::uint8_t>, 32> keys{};
+  std::array<RSlot, 32> children{};
+};
 struct RNode48 : RNode {
   static constexpr std::uint8_t kEmptySlot = 0xff;
   RNode48() : RNode(NodeType::kN48) {

@@ -7,6 +7,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "common/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "resilience/fault_injector.h"
@@ -47,47 +48,70 @@ RuntimeMetrics& Metrics() {
 // --------------------------------------------------------- ShortcutTable --
 
 art::Leaf* ShortcutTable::Find(std::uint64_t hash) const {
-  if (slots_.empty()) return nullptr;
+  if (size_ == 0) return nullptr;
   hash = Normalize(hash);
-  const std::size_t mask = slots_.size() - 1;
-  for (std::size_t i = hash & mask; slots_[i].hash != 0; i = (i + 1) & mask) {
-    if (slots_[i].hash == hash && slots_[i].leaf != nullptr) {
-      return slots_[i].leaf;
+#if DCART_SIMD_X86
+  if (simd::HasAvx2()) {
+    // Four-lane probe.  Correctness leans on two linear-probing facts:
+    //   1. A live entry never sits past a truly-empty slot on its home
+    //      chain (inserts fill a tombstone or the chain's first empty
+    //      slot, and Erase never re-empties — it only tombstones), so the
+    //      first zero lane terminates the probe.
+    //   2. The live entry for `hash` precedes any same-hash tombstone that
+    //      a probe could otherwise mistake for a miss, because Insert
+    //      reuses the FIRST tombstone on the chain.  Equal lanes are
+    //      therefore examined in ascending order, skipping tombstones.
+    // The load factor cap in Insert guarantees empty slots exist, so the
+    // stride-4 walk over consecutive lane groups always terminates.
+    std::size_t i = hash & mask_;
+    for (;;) {
+      const simd::HashLanes4 lanes = simd::MatchHash4(&hashes_[i], hash);
+      for (unsigned m = lanes.eq | lanes.zero; m != 0; m &= m - 1) {
+        const auto j = static_cast<unsigned>(__builtin_ctz(m));
+        if ((lanes.zero >> j) & 1u) return nullptr;
+        const std::size_t idx = (i + j) & mask_;  // mirror lane -> real slot
+        if (leaves_[idx] != nullptr) return leaves_[idx];
+      }
+      i = (i + 4) & mask_;
     }
+  }
+#endif
+  for (std::size_t i = hash & mask_; hashes_[i] != 0; i = (i + 1) & mask_) {
+    if (hashes_[i] == hash && leaves_[i] != nullptr) return leaves_[i];
   }
   return nullptr;
 }
 
 void ShortcutTable::Insert(std::uint64_t hash, art::Leaf* leaf) {
-  if ((live_ + tombs_ + 1) * 4 > slots_.size() * 3) Grow();
+  if ((live_ + tombs_ + 1) * 4 > size_ * 3) Grow();
   hash = Normalize(hash);
-  const std::size_t mask = slots_.size() - 1;
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::size_t tomb = kNone;
-  std::size_t i = hash & mask;
-  for (; slots_[i].hash != 0; i = (i + 1) & mask) {
-    if (slots_[i].hash == hash && slots_[i].leaf != nullptr) {
-      slots_[i].leaf = leaf;  // refresh in place
+  std::size_t i = hash & mask_;
+  for (; hashes_[i] != 0; i = (i + 1) & mask_) {
+    if (hashes_[i] == hash && leaves_[i] != nullptr) {
+      leaves_[i] = leaf;  // refresh in place
       return;
     }
-    if (slots_[i].leaf == nullptr && tomb == kNone) tomb = i;
+    if (leaves_[i] == nullptr && tomb == kNone) tomb = i;
   }
   if (tomb != kNone) {
-    slots_[tomb] = Slot{hash, leaf};
+    SetHash(tomb, hash);
+    leaves_[tomb] = leaf;
     --tombs_;
   } else {
-    slots_[i] = Slot{hash, leaf};
+    SetHash(i, hash);
+    leaves_[i] = leaf;
   }
   ++live_;
 }
 
 void ShortcutTable::Erase(std::uint64_t hash) {
-  if (slots_.empty()) return;
+  if (size_ == 0) return;
   hash = Normalize(hash);
-  const std::size_t mask = slots_.size() - 1;
-  for (std::size_t i = hash & mask; slots_[i].hash != 0; i = (i + 1) & mask) {
-    if (slots_[i].hash == hash && slots_[i].leaf != nullptr) {
-      slots_[i].leaf = nullptr;  // tombstone: probes continue past it
+  for (std::size_t i = hash & mask_; hashes_[i] != 0; i = (i + 1) & mask_) {
+    if (hashes_[i] == hash && leaves_[i] != nullptr) {
+      leaves_[i] = nullptr;  // tombstone: probes continue past it
       --live_;
       ++tombs_;
       return;
@@ -96,18 +120,24 @@ void ShortcutTable::Erase(std::uint64_t hash) {
 }
 
 void ShortcutTable::Grow() {
-  std::size_t capacity = slots_.empty() ? 64 : slots_.size();
+  std::size_t capacity = size_ == 0 ? 64 : size_;
   while ((live_ + 1) * 2 >= capacity) capacity *= 2;
-  std::vector<Slot> old;
-  old.swap(slots_);
-  slots_.assign(capacity, Slot{});
+  std::vector<std::uint64_t> old_hashes;
+  std::vector<art::Leaf*> old_leaves;
+  old_hashes.swap(hashes_);
+  old_leaves.swap(leaves_);
+  const std::size_t old_size = size_;
+  size_ = capacity;
+  mask_ = capacity - 1;
+  hashes_.assign(capacity + kPad, 0);
+  leaves_.assign(capacity, nullptr);
   tombs_ = 0;
-  const std::size_t mask = capacity - 1;
-  for (const Slot& s : old) {
-    if (s.hash == 0 || s.leaf == nullptr) continue;
-    std::size_t i = s.hash & mask;
-    while (slots_[i].hash != 0) i = (i + 1) & mask;
-    slots_[i] = s;
+  for (std::size_t k = 0; k < old_size; ++k) {
+    if (old_hashes[k] == 0 || old_leaves[k] == nullptr) continue;
+    std::size_t i = old_hashes[k] & mask_;
+    while (hashes_[i] != 0) i = (i + 1) & mask_;
+    SetHash(i, old_hashes[k]);
+    leaves_[i] = old_leaves[k];
   }
 }
 

@@ -66,11 +66,15 @@ struct DcartCpConfig {
 
 /// Flat open-addressing map from key hash to resolved leaf — the software
 /// analogue of the paper's SRAM Shortcut_Table.  Linear probing over a
-/// power-of-two slot array keeps a probe to one cache line (against the
-/// several node hops of a descent, which is the entire point of the
-/// shortcut path); deletions leave tombstones that growth purges.  Not
-/// thread-safe: each table belongs to one bucket, and one worker owns a
-/// bucket at a time.
+/// power-of-two array keeps a probe to one cache line (against the several
+/// node hops of a descent, which is the entire point of the shortcut path);
+/// deletions leave tombstones that growth purges.  Not thread-safe: each
+/// table belongs to one bucket, and one worker owns a bucket at a time.
+///
+/// The layout is struct-of-arrays so the probe loop can compare four hash
+/// slots per step with one AVX2 load (see Find); `hashes_` carries kPad
+/// mirror entries past the end, kept equal to the first kPad slots, so a
+/// 4-lane load at any home index never wraps mid-vector.
 class ShortcutTable {
  public:
   /// The leaf recorded for `hash`, or nullptr.  The caller must verify the
@@ -81,24 +85,32 @@ class ShortcutTable {
 
   /// Hint the cache about `hash`'s home slot (group-prefetch pipelining).
   void PrefetchSlot(std::uint64_t hash) const {
-    if (!slots_.empty()) {
-      __builtin_prefetch(&slots_[Normalize(hash) & (slots_.size() - 1)]);
+    if (size_ != 0) {
+      const std::size_t i = Normalize(hash) & mask_;
+      __builtin_prefetch(&hashes_[i]);
+      __builtin_prefetch(&leaves_[i]);
     }
   }
 
  private:
-  struct Slot {
-    std::uint64_t hash = 0;     // 0 = never occupied
-    art::Leaf* leaf = nullptr;  // nullptr with hash != 0 = tombstone
-  };
+  /// Mirror slots appended to hashes_ (vector loads read lanes i..i+3).
+  static constexpr std::size_t kPad = 3;
   // Reserve hash 0 as the empty marker; remapping 0 to 1 only merges the
   // two values' slots, which the caller's key check already disambiguates.
   static std::uint64_t Normalize(std::uint64_t hash) {
     return hash == 0 ? 1 : hash;
   }
+  void SetHash(std::size_t i, std::uint64_t hash) {
+    hashes_[i] = hash;
+    if (i < kPad) hashes_[size_ + i] = hash;
+  }
   void Grow();
 
-  std::vector<Slot> slots_;  // power-of-two, allocated on first Insert
+  // hash 0 = never occupied; leaf nullptr with hash != 0 = tombstone.
+  std::vector<std::uint64_t> hashes_;  // size_ + kPad, allocated on Insert
+  std::vector<art::Leaf*> leaves_;     // size_
+  std::size_t size_ = 0;               // logical capacity, power of two
+  std::size_t mask_ = 0;               // size_ - 1 (0 while empty)
   std::size_t live_ = 0;
   std::size_t tombs_ = 0;
 };

@@ -98,6 +98,12 @@ struct CNode16 : CNode {
   std::array<CSlot, 16> children{};
 };
 
+struct CNode32 : CNode {
+  CNode32() : CNode(NodeType::kN32) {}
+  std::array<std::uint8_t, 32> keys{};
+  std::array<CSlot, 32> children{};
+};
+
 struct CNode48 : CNode {
   static constexpr std::uint8_t kEmptySlot = 0xff;
   CNode48() : CNode(NodeType::kN48) { child_index.fill(kEmptySlot); }

@@ -182,6 +182,9 @@ void CheckStructuralInvariants(NodeRef ref, std::size_t depth) {
     case NodeType::kN16:
       ASSERT_LE(node->count, 16);
       break;
+    case NodeType::kN32:
+      ASSERT_LE(node->count, 32);
+      break;
     case NodeType::kN48:
       ASSERT_LE(node->count, 48);
       break;

@@ -2,6 +2,7 @@
 // lookups, deletes, node growth/shrink, path compression, range scans.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
@@ -56,7 +57,8 @@ TEST(Node, RemoveChildKeepsOrder) {
 }
 
 TEST(Node, GrowChainPreservesChildren) {
-  // Fill an N4, grow to N16, fill, grow to N48, fill, grow to N256.
+  // Fill an N4, grow to N16, fill, grow to N32, fill, grow to N48, fill,
+  // grow to N256.
   std::vector<Leaf*> leaves;
   Node* node = new Node4;
   for (int b = 0; b < 256; ++b) {
@@ -104,6 +106,101 @@ TEST(Node, ShrinkChainPreservesChildren) {
   DeleteNode(n48);
 }
 
+TEST(Node, GrowBoundary16To32To48) {
+  // The 17th child is exactly what forces N16 -> N32, and the 33rd forces
+  // N32 -> N48; every hop must keep ascending enumeration and all children.
+  std::vector<Leaf*> leaves;
+  Node* node = new Node16;
+  const auto add = [&](int b) {
+    auto* leaf = new Leaf{K({static_cast<std::uint8_t>(b)}),
+                          static_cast<Value>(b)};
+    leaves.push_back(leaf);
+    AddChild(node, static_cast<std::uint8_t>(b), NodeRef::FromLeaf(leaf));
+  };
+  const auto check_all = [&](int upto) {
+    std::vector<int> order;
+    EnumerateChildren(node, [&order](std::uint8_t b, NodeRef) {
+      order.push_back(b);
+      return true;
+    });
+    ASSERT_EQ(static_cast<int>(order.size()), upto);
+    for (int b = 0; b < upto; ++b) {
+      ASSERT_EQ(order[static_cast<std::size_t>(b)], b * 7);
+      ASSERT_EQ(
+          FindChild(node, static_cast<std::uint8_t>(b * 7)).AsLeaf()->value,
+          static_cast<Value>(b * 7));
+    }
+  };
+  // Insert in descending byte order so sortedness is earned, not inherited.
+  for (int b = 15; b >= 0; --b) add(b * 7);
+  EXPECT_TRUE(IsFull(node));
+  EXPECT_EQ(node->type, NodeType::kN16);
+  Node* grown = Grown(node);
+  DeleteNode(node);
+  node = grown;
+  EXPECT_EQ(node->type, NodeType::kN32);
+  check_all(16);
+  for (int b = 31; b >= 16; --b) add(b * 7);
+  EXPECT_TRUE(IsFull(node));
+  EXPECT_EQ(node->count, 32);
+  check_all(32);
+  grown = Grown(node);
+  DeleteNode(node);
+  node = grown;
+  EXPECT_EQ(node->type, NodeType::kN48);
+  check_all(32);
+  add(32 * 7);
+  EXPECT_EQ(node->count, 33);
+  check_all(33);
+  for (Leaf* l : leaves) delete l;
+  DeleteNode(node);
+}
+
+TEST(Node, ShrinkBoundary48To32To16) {
+  // 24 children is the N48 shrink point, 12 the N32 one; both hops must
+  // preserve every child in ascending order.
+  std::vector<Leaf*> leaves;
+  Node* node = new Node48;
+  for (int b = 0; b < 25; ++b) {
+    auto* leaf = new Leaf{K({static_cast<std::uint8_t>(b)}),
+                          static_cast<Value>(b)};
+    leaves.push_back(leaf);
+    AddChild(node, static_cast<std::uint8_t>(b), NodeRef::FromLeaf(leaf));
+  }
+  EXPECT_FALSE(IsUnderfull(node));
+  RemoveChild(node, 24);
+  ASSERT_TRUE(IsUnderfull(node));  // 24 children
+  Node* shrunk = Shrunk(node);
+  DeleteNode(node);
+  node = shrunk;
+  EXPECT_EQ(node->type, NodeType::kN32);
+  EXPECT_EQ(node->count, 24);
+  std::vector<int> order;
+  EnumerateChildren(node, [&order](std::uint8_t b, NodeRef) {
+    order.push_back(b);
+    return true;
+  });
+  ASSERT_EQ(order.size(), 24u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  for (int b = 23; b >= 13; --b) {
+    RemoveChild(node, static_cast<std::uint8_t>(b));
+    EXPECT_FALSE(IsUnderfull(node));
+  }
+  RemoveChild(node, 12);
+  ASSERT_TRUE(IsUnderfull(node));  // 12 children
+  shrunk = Shrunk(node);
+  DeleteNode(node);
+  node = shrunk;
+  EXPECT_EQ(node->type, NodeType::kN16);
+  EXPECT_EQ(node->count, 12);
+  for (int b = 0; b < 12; ++b) {
+    ASSERT_EQ(FindChild(node, static_cast<std::uint8_t>(b)).AsLeaf()->value,
+              static_cast<Value>(b));
+  }
+  for (Leaf* l : leaves) delete l;
+  DeleteNode(node);
+}
+
 TEST(Node, N48SlotReuseAfterRemoval) {
   Node48 n;
   std::vector<Leaf> leaves(49);
@@ -148,7 +245,8 @@ TEST(Node, TaggedRefRoundTrip) {
 TEST(Node, NodeSizesReflectAdaptivity) {
   // The whole point of ART: small nodes are much smaller than N256.
   EXPECT_LT(NodeSizeBytes(NodeType::kN4), NodeSizeBytes(NodeType::kN16));
-  EXPECT_LT(NodeSizeBytes(NodeType::kN16), NodeSizeBytes(NodeType::kN48));
+  EXPECT_LT(NodeSizeBytes(NodeType::kN16), NodeSizeBytes(NodeType::kN32));
+  EXPECT_LT(NodeSizeBytes(NodeType::kN32), NodeSizeBytes(NodeType::kN48));
   EXPECT_LT(NodeSizeBytes(NodeType::kN48), NodeSizeBytes(NodeType::kN256));
 }
 
@@ -337,12 +435,15 @@ TEST(Tree, MemoryStatsCountNodes) {
 TEST(Tree, AdaptiveNodesMatchFanout) {
   // Construct subtrees with deliberate fanouts: 10000 dense keys fill
   // bottom-level N256s under an N48 (ceil(10000/256) = 40 children), a
-  // 10-key spread in a disjoint region makes an N16, and a 3-key spread
-  // makes an N4.
+  // 10-key spread in a disjoint region makes an N16, a 20-key spread an
+  // N32, and a 3-key spread an N4.
   Tree t;
   for (std::uint64_t i = 0; i < 10000; ++i) t.Insert(EncodeU64(i), i);
   for (std::uint64_t j = 0; j < 10; ++j) {
     t.Insert(EncodeU64((0x10ull << 56) | (j << 40)), j);
+  }
+  for (std::uint64_t j = 0; j < 20; ++j) {
+    t.Insert(EncodeU64((0x18ull << 56) | (j << 40)), j);
   }
   for (std::uint64_t j = 0; j < 3; ++j) {
     t.Insert(EncodeU64((0x20ull << 56) | (j << 40)), j);
@@ -350,6 +451,7 @@ TEST(Tree, AdaptiveNodesMatchFanout) {
   const MemoryStats ms = t.ComputeMemoryStats();
   EXPECT_GT(ms.n4, 0u);
   EXPECT_GT(ms.n16, 0u);
+  EXPECT_GT(ms.n32, 0u);
   EXPECT_GT(ms.n48, 0u);
   EXPECT_GT(ms.n256, 0u);
 }
@@ -426,6 +528,29 @@ TEST(Scan, BoundedRangeMatchesModel) {
       expected.push_back(it->first);
     }
     ASSERT_EQ(scanned, expected) << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST(Scan, SortedScanAcrossNode32Fanout) {
+  // A 24-way fanout lands in an N32; a full scan must still come out in
+  // key order even though the keys went in shuffled.
+  Tree t;
+  SplitMix64 rng(41);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t j = 0; j < 24; ++j) keys.push_back(j << 40);
+  Shuffle(keys, rng);
+  for (std::uint64_t k : keys) t.Insert(EncodeU64(k), k);
+  const MemoryStats ms = t.ComputeMemoryStats();
+  EXPECT_GT(ms.n32, 0u);
+  std::vector<std::uint64_t> scanned;
+  t.Scan(EncodeU64(0), EncodeU64(UINT64_MAX), [&scanned](KeyView k, Value) {
+    scanned.push_back(DecodeU64(k));
+    return true;
+  });
+  ASSERT_EQ(scanned.size(), 24u);
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+  for (std::size_t j = 0; j < scanned.size(); ++j) {
+    EXPECT_EQ(scanned[j], static_cast<std::uint64_t>(j) << 40);
   }
 }
 

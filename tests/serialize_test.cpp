@@ -62,6 +62,59 @@ TEST(Serialize, RoundTripStringKeysAndEmptyTree) {
   std::remove(empty_path.c_str());
 }
 
+TEST(Serialize, RoundTripTreeWithNode32Fanout) {
+  // 17..32-way fanouts land in the N32 tier added by the SN2 format bump;
+  // a canonical rebuild must reproduce them exactly.
+  Tree original;
+  for (std::uint64_t j = 0; j < 24; ++j) {
+    original.Insert(EncodeU64(j << 40), j);
+  }
+  ASSERT_GT(original.ComputeMemoryStats().n32, 0u);
+  const std::string path = TempPath("art_snapshot_n32.bin");
+  ASSERT_TRUE(SaveTree(original, path));
+  Tree loaded;
+  ASSERT_TRUE(LoadTree(path, loaded));
+  EXPECT_EQ(loaded.size(), 24u);
+  EXPECT_GT(loaded.ComputeMemoryStats().n32, 0u);
+  for (std::uint64_t j = 0; j < 24; ++j) {
+    ASSERT_EQ(loaded.Get(EncodeU64(j << 40)).value(), j);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ReadsLegacySn1Snapshots) {
+  // SN2 changed only the magic (the payload carries no node types), so a
+  // pre-Node32 "DCARTSN1" file must still load.  Forge one by rewriting the
+  // version byte of a fresh snapshot.
+  Tree original;
+  SplitMix64 rng(29);
+  std::map<std::uint64_t, Value> model;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t k = rng.Next();
+    model[k] = k + 7;
+    original.Insert(EncodeU64(k), k + 7);
+  }
+  const std::string path = TempPath("art_snapshot_v1.bin");
+  ASSERT_TRUE(SaveTree(original, path));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    char magic[8];
+    ASSERT_EQ(std::fread(magic, 1, 8, f), 8u);
+    ASSERT_EQ(magic[7], '2');
+    std::fseek(f, 7, SEEK_SET);
+    std::fputc('1', f);
+    std::fclose(f);
+  }
+  Tree loaded;
+  ASSERT_TRUE(LoadTree(path, loaded));
+  EXPECT_EQ(loaded.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(loaded.Get(EncodeU64(k)).value(), v) << k;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Serialize, RejectsGarbageAndUnsortedStreams) {
   Tree out;
   EXPECT_FALSE(LoadTree("/nonexistent/snapshot.bin", out));
